@@ -1,0 +1,75 @@
+// Command messbench runs the Mess benchmark against a simulated platform
+// and emits its bandwidth–latency curve family: an ASCII figure, derived
+// metrics, and optionally the release-format CSV.
+//
+// Usage:
+//
+//	messbench -platform "Intel Skylake" [-full] [-out curves.csv]
+//	messbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/mess-sim/mess"
+)
+
+func main() {
+	var (
+		name = flag.String("platform", "Intel Skylake", "platform to characterize (see -list)")
+		list = flag.Bool("list", false, "list available platforms and exit")
+		full = flag.Bool("full", false, "run the full sweep (dense mixes and pacing; slower)")
+		out  = flag.String("out", "", "write the curve family as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range mess.Platforms() {
+			fmt.Println(" ", p.String())
+		}
+		return
+	}
+
+	spec, err := mess.PlatformByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	opt := mess.QuickBenchmarkOptions()
+	if *full {
+		opt = mess.BenchmarkOptions{}
+	}
+
+	fmt.Printf("characterizing %s ...\n", spec.String())
+	start := time.Now()
+	res, err := mess.Characterize(spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done in %s (%d measurement points)\n\n", time.Since(start).Round(time.Millisecond), len(res.Samples))
+
+	if err := mess.PlotCurves(os.Stdout, res.Family, 76, 22); err != nil {
+		fatal(err)
+	}
+	m := res.Family.Metrics()
+	fmt.Printf("\n%s\n", m.String())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := mess.WriteCurvesCSV(f, res.Family); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("curves written to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "messbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command messexp reproduces the paper's tables and figures. Each
+// experiment renders a structured report: tables, ASCII curve figures and
+// reproduction notes.
+//
+// Usage:
+//
+//	messexp -list
+//	messexp -run fig2
+//	messexp -run all -scale full -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/mess-sim/mess"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id (fig2 … fig18, table1, tablespeed, openpiton-bug) or \"all\"")
+		scale  = flag.String("scale", "quick", "quick (scaled platforms, coarse sweeps) or full (paper configurations)")
+		outdir = flag.String("outdir", "", "also write each report to <outdir>/<id>.txt")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range mess.Experiments() {
+			fmt.Printf("  %-14s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	var s mess.ExperimentScale
+	switch *scale {
+	case "quick":
+		s = mess.ScaleQuick
+	case "full":
+		s = mess.ScaleFull
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range mess.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := mess.RunExperiment(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "messexp: %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("\n")
+		if err := res.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s in %s at %s scale)\n", id, time.Since(start).Round(time.Millisecond), s)
+
+		if *outdir != "" {
+			path := filepath.Join(*outdir, id+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Render(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "messexp:", err)
+	os.Exit(1)
+}

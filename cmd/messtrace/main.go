@@ -1,0 +1,107 @@
+// Command messtrace captures memory traces from a Mess benchmark run and
+// replays them through standalone memory models — the paper's trace-driven
+// methodology (Sec. IV-D) as a tool.
+//
+// Usage:
+//
+//	messtrace -platform "Intel Skylake" -capture trace.txt -stores 40 -pace 8
+//	messtrace -replay trace.txt -model dramsim3 -platform "Intel Skylake"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mess-sim/mess"
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/memmodel"
+	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/trace"
+)
+
+func main() {
+	var (
+		name    = flag.String("platform", "Intel Skylake", "platform whose configuration to use")
+		capture = flag.String("capture", "", "capture a trace from a benchmark point into this file")
+		stores  = flag.Int("stores", 0, "capture: kernel store percentage")
+		pace    = flag.Float64("pace", 8, "capture: generator pacing in ns/op")
+		replay  = flag.String("replay", "", "replay this trace file")
+		model   = flag.String("model", "dramsim3", "replay: memory model kind")
+		limit   = flag.Int("limit", 200000, "capture: maximum records")
+	)
+	flag.Parse()
+
+	spec, err := mess.PlatformByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *capture != "":
+		doCapture(spec, *capture, *stores, *pace, *limit)
+	case *replay != "":
+		doReplay(spec, *replay, memmodel.Kind(*model))
+	default:
+		fmt.Println("use -capture <file> or -replay <file>; see -h")
+	}
+}
+
+func doCapture(spec mess.Platform, path string, stores int, pace float64, limit int) {
+	var cap *trace.Capture
+	opt := bench.QuickOptions()
+	opt.Mixes = []bench.Mix{{StorePercent: stores}}
+	opt.PacesNs = []float64{pace}
+	opt.Parallelism = 1
+	opt.Backend = func(eng *sim.Engine) mem.Backend {
+		cap = trace.NewCapture(eng, dram.New(eng, spec.DRAM), limit)
+		return cap
+	}
+	res, err := bench.Run(spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	s := res.Samples[0]
+	fmt.Printf("captured %d records at %.1f GB/s (read ratio %.2f, latency %.0f ns)\n",
+		len(cap.T.Records), s.BWGBs, s.RdRatio, s.LatNs)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := cap.T.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace written to %s\n", path)
+}
+
+func doReplay(spec mess.Platform, path string, kind memmodel.Kind) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := sim.New()
+	m, err := memmodel.New(kind, eng, spec, nil)
+	if err != nil {
+		fatal(err)
+	}
+	res := trace.Replay(eng, m, tr)
+	fmt.Printf("replayed %d records through %s:\n", len(tr.Records), kind)
+	fmt.Printf("  bandwidth:        %.1f GB/s\n", res.BWGBs)
+	fmt.Printf("  mean read latency: %.1f ns (controller level)\n", res.ReadLatNs)
+	fmt.Printf("  read ratio:       %.2f\n", res.ReadRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "messtrace:", err)
+	os.Exit(1)
+}

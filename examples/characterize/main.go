@@ -1,0 +1,53 @@
+// Characterize all eight platforms of the paper's Table I and print the
+// quantitative comparison: saturated-bandwidth range, unloaded latency and
+// maximum latency range, next to the paper's measured values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/mess-sim/mess"
+)
+
+type row struct {
+	name    string
+	metrics mess.Metrics
+}
+
+func main() {
+	specs := mess.Platforms()
+	rows := make([]row, len(specs))
+
+	// Each characterization owns its engines; platforms parallelize
+	// cleanly.
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec mess.Platform) {
+			defer wg.Done()
+			res, err := mess.Characterize(spec, mess.QuickBenchmarkOptions())
+			if err != nil {
+				log.Fatalf("%s: %v", spec.Name, err)
+			}
+			rows[i] = row{name: spec.Name, metrics: res.Family.Metrics()}
+		}(i, spec)
+	}
+	wg.Wait()
+
+	paperUnloaded := []float64{89, 85, 113, 96, 129, 109, 122, 363}
+	paperSat := []string{"72–91%", "68–87%", "57–71%", "67–91%", "63–95%", "60–86%", "72–92%", "51–95%"}
+
+	fmt.Printf("%-24s %-14s %-10s %-12s %-8s %s\n",
+		"platform", "sat. range", "(paper)", "unloaded", "(paper)", "max latency")
+	for i, r := range rows {
+		m := r.metrics
+		fmt.Printf("%-24s %3.0f–%3.0f%%      %-10s %6.0f ns    %4.0f ns  %.0f–%.0f ns\n",
+			r.name,
+			100*m.SatLowFrac(), 100*m.SatHighFrac(), paperSat[i],
+			m.UnloadedLatencyNs, paperUnloaded[i],
+			m.MaxLatencyMinNs, m.MaxLatencyMaxNs)
+	}
+	fmt.Println("\n(quick sweep; run cmd/messexp -run table1 -scale full for the dense version)")
+}

@@ -1,0 +1,99 @@
+package mess
+
+import (
+	"github.com/mess-sim/mess/internal/cpu"
+	"github.com/mess-sim/mess/internal/memmodel"
+	"github.com/mess-sim/mess/internal/profile"
+	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/workloads"
+)
+
+// This file extends the public API with the evaluation machinery: the
+// memory-model zoo, the workload suite, and the profiling sampler — enough
+// to rebuild every experiment of the paper from the outside.
+
+// MemoryModelKind names one model of the zoo (Sec. IV baselines plus the
+// detailed reference and the Mess analytical simulator).
+type MemoryModelKind = memmodel.Kind
+
+// The memory-model zoo.
+const (
+	ModelFixed       = memmodel.KindFixed
+	ModelMD1         = memmodel.KindMD1
+	ModelInternalDDR = memmodel.KindInternalDDR
+	ModelDRAMsim3    = memmodel.KindDRAMsim3
+	ModelRamulator   = memmodel.KindRamulator
+	ModelRamulator2  = memmodel.KindRamulator2
+	ModelReference   = memmodel.KindReference
+	ModelMess        = memmodel.KindMess
+)
+
+// MemoryModels lists every model kind.
+func MemoryModels() []MemoryModelKind { return memmodel.Kinds() }
+
+// NewMemoryModel builds a model of the given kind for the platform. The
+// Mess kind needs the platform's measured curve family; others ignore it.
+func NewMemoryModel(kind MemoryModelKind, eng *Engine, p Platform, fam *Family) (MemBackend, error) {
+	return memmodel.New(kind, eng, p, fam)
+}
+
+// Workload API.
+type (
+	// Kernel describes a workload's inner loop at cache-line granularity.
+	Kernel = cpu.Kernel
+	// WorkloadOptions configure a workload run.
+	WorkloadOptions = workloads.Options
+	// WorkloadResult is one workload execution (IPC + bandwidths).
+	WorkloadResult = workloads.Result
+	// SpecBenchmark is one entry of the SPEC-CPU2006-like suite.
+	SpecBenchmark = workloads.SpecBenchmark
+	// Phase is one segment of a phased application.
+	Phase = workloads.Phase
+	// PhaseEvent records a phase transition.
+	PhaseEvent = workloads.PhaseEvent
+	// PhasedApp drives cores through a repeating phase schedule.
+	PhasedApp = workloads.PhasedApp
+)
+
+// Standard kernels from the paper's evaluation.
+var (
+	StreamCopy  = cpu.StreamCopy
+	StreamScale = cpu.StreamScale
+	StreamAdd   = cpu.StreamAdd
+	StreamTriad = cpu.StreamTriad
+	LMbench     = cpu.LMbench
+	Multichase  = cpu.Multichase
+	GUPS        = cpu.GUPS
+)
+
+// RunWorkload executes a kernel multiprogrammed on the platform.
+func RunWorkload(p Platform, k Kernel, opt WorkloadOptions) (WorkloadResult, error) {
+	return workloads.Run(p, k, opt)
+}
+
+// RunEvalSuite runs the six benchmarks of the IPC-error experiments
+// (STREAM ×4 multiprogrammed, LMbench and multichase single-core).
+func RunEvalSuite(p Platform, opt WorkloadOptions) ([]WorkloadResult, error) {
+	return workloads.EvalSuite(p, opt)
+}
+
+// SpecSuite returns the SPEC-CPU2006-like synthetic suite of Fig. 18.
+func SpecSuite() []SpecBenchmark { return workloads.SpecSuite() }
+
+// NewHPCGProxy builds the HPCG proxy application (SpMV/SymGS/DDOT/WAXPBY
+// phases delimited by MPI_Allreduce) over the platform's detailed memory
+// system.
+func NewHPCGProxy(p Platform) *PhasedApp {
+	return workloads.NewPhasedApp(p, workloads.HPCGPhases(), nil)
+}
+
+// Sampler periodically snapshots a counting backend, producing the raw
+// windows that BuildProfile analyzes.
+type Sampler = profile.Sampler
+
+// NewSampler builds a sampler with the given period.
+func NewSampler(eng *Engine, counting *CountingBackend, every SimTime) *Sampler {
+	return profile.NewSampler(eng, counting, every)
+}
+
+var _ = sim.Nanosecond // keep the sim import anchored to its alias uses

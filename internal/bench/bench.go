@@ -1,0 +1,321 @@
+// Package bench orchestrates the Mess benchmark (Sec. II): one pointer-chase
+// core measures load-to-use latency while the remaining cores run paced
+// traffic generators; sweeping the generator pacing and the load/store mix
+// produces the platform's family of bandwidth–latency curves.
+//
+// The runner works against any memory backend — the detailed DRAM model
+// (standing in for actual hardware) or any model from the zoo — which is
+// exactly how the paper uses the benchmark to characterize both servers
+// (Sec. III) and simulators (Sec. IV).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/mess-sim/mess/internal/cache"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/cpu"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// Mix is one traffic composition of the sweep: the percentage of kernel
+// memory instructions that are stores and whether stores are non-temporal.
+// Regular stores on write-allocate systems produce read ratios in [0.5, 1];
+// non-temporal stores reach the write-heavy half of the space.
+type Mix struct {
+	StorePercent int
+	NonTemporal  bool
+}
+
+func (m Mix) String() string {
+	nt := ""
+	if m.NonTemporal {
+		nt = " (NT)"
+	}
+	return fmt.Sprintf("%d%% stores%s", m.StorePercent, nt)
+}
+
+// Options configure a benchmark run.
+type Options struct {
+	// Mixes to sweep. Default: store percentages 0..100 in steps of 20
+	// with regular stores (read ratios 1.0 → 0.5).
+	Mixes []Mix
+	// PacesNs is the per-op pacing sweep in nanoseconds (the nopCount
+	// knob). Default: a log-spaced ladder from 0 (full pressure) to 512.
+	PacesNs []float64
+	// Warmup and Measure are the simulated durations of the warm-up and
+	// measurement windows for every point.
+	Warmup  sim.Time
+	Measure sim.Time
+	// ChaseLines is the pointer-chase array size in cache lines (power of
+	// two).
+	ChaseLines uint64
+	// ArrayBytes is the per-generator array length.
+	ArrayBytes uint64
+	// Parallelism bounds concurrent measurement points (each point owns an
+	// engine). Default: GOMAXPROCS.
+	Parallelism int
+	// Backend overrides the memory system under test; nil uses the
+	// platform's detailed DRAM model.
+	Backend mem.BackendFactory
+	// Cache overrides the platform's derived cache configuration — used
+	// for failure injection (e.g. the OpenPiton clean-eviction bug).
+	Cache *cache.Config
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if len(out.Mixes) == 0 {
+		for s := 0; s <= 100; s += 20 {
+			out.Mixes = append(out.Mixes, Mix{StorePercent: s})
+		}
+	}
+	if len(out.PacesNs) == 0 {
+		out.PacesNs = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512}
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 20 * sim.Microsecond
+	}
+	if out.Measure == 0 {
+		out.Measure = 50 * sim.Microsecond
+	}
+	if out.ChaseLines == 0 {
+		out.ChaseLines = 1 << 19 // 32 MiB: far beyond any LLC
+	}
+	if out.ArrayBytes == 0 {
+		out.ArrayBytes = 32 << 20
+	}
+	if out.Parallelism == 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// Sample is one measurement point.
+type Sample struct {
+	Mix     Mix
+	PaceNs  float64
+	BWGBs   float64
+	LatNs   float64
+	RdRatio float64
+	// Row-buffer statistics over the measurement window, when the backend
+	// exposes them (fractions; zero otherwise).
+	RowHit, RowEmpty, RowMiss float64
+	ChaseSamples              uint64
+}
+
+// Result is a complete benchmark run.
+type Result struct {
+	Spec    platform.Spec
+	Family  *core.Family
+	Samples []Sample
+}
+
+// rowStatser is implemented by backends that expose row-buffer counters.
+type rowStatser interface{ RowStats() dram.RowStats }
+
+// Run executes the sweep for the platform and assembles the curve family.
+func Run(spec platform.Spec, opt Options) (*Result, error) {
+	o := opt.withDefaults()
+	type job struct{ mixIdx, paceIdx int }
+	jobs := make([]job, 0, len(o.Mixes)*len(o.PacesNs))
+	for mi := range o.Mixes {
+		for pi := range o.PacesNs {
+			jobs = append(jobs, job{mi, pi})
+		}
+	}
+	samples := make([]Sample, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Parallelism)
+	// The unloaded anchor: the pointer chase alone, as the paper measures
+	// the unloaded latency (validated against LMbench/multichase). It
+	// becomes the first point of every curve.
+	var unloaded Sample
+	var unloadedErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		unloaded, unloadedErr = measureWith(spec, o, Mix{}, 0, 0)
+	}()
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := measurePoint(spec, o, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx])
+			samples[ji], errs[ji] = s, err
+		}(ji, j)
+	}
+	wg.Wait()
+	if unloadedErr != nil {
+		return nil, unloadedErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fam := assemble(spec, o, samples, unloaded)
+	return &Result{Spec: spec, Family: fam, Samples: samples}, nil
+}
+
+// MeasureUnloaded runs only the pointer chase and reports the unloaded
+// load-to-use latency — the LMbench/multichase validation measurement.
+func MeasureUnloaded(spec platform.Spec, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	s, err := measureWith(spec, o, Mix{}, 0, 0) // zero generators
+	if err != nil {
+		return 0, err
+	}
+	return s.LatNs, nil
+}
+
+func measurePoint(spec platform.Spec, o Options, mix Mix, paceNs float64) (Sample, error) {
+	return measureWith(spec, o, mix, paceNs, spec.Cores-1)
+}
+
+func measureWith(spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
+	eng := sim.New()
+
+	var backend mem.Backend
+	if o.Backend != nil {
+		backend = o.Backend(eng)
+	} else {
+		backend = dram.New(eng, spec.DRAM)
+	}
+	counting := mem.NewCounting(backend)
+	ccfg := spec.CacheConfig()
+	if o.Cache != nil {
+		ccfg = *o.Cache
+	}
+	hier := cache.New(eng, ccfg, counting)
+
+	// Pointer chaser on core 0, in its own address region.
+	const chaseBase = 1 << 40
+	chaser := cpu.NewChaser(eng, hier.Port(0), chaseBase, o.ChaseLines, 12345)
+	chaser.Start()
+
+	// Traffic generators on the remaining cores. Each core gets disjoint
+	// load/store arrays; bases are staggered by an extra bank-sized offset
+	// so concurrent streams spread across banks like distinct allocations.
+	gens := make([]*cpu.Generator, 0, generators)
+	for g := 0; g < generators; g++ {
+		base := uint64(1)<<33 + uint64(g)*(1<<28+16<<10)
+		gen := cpu.NewGenerator(eng, hier.Port(g+1), cpu.GenConfig{
+			StorePercent: mix.StorePercent,
+			NonTemporal:  mix.NonTemporal,
+			PacePerOp:    sim.FromNanoseconds(paceNs),
+			LoadBase:     base,
+			StoreBase:    base + 1<<27 + 32<<10,
+			ArrayBytes:   o.ArrayBytes,
+		})
+		gen.Start()
+		gens = append(gens, gen)
+	}
+
+	// Warm up, then measure over a counter delta.
+	eng.RunUntil(o.Warmup)
+	chaser.ResetStats()
+	c0 := counting.Snapshot()
+	var rs0 dram.RowStats
+	statser, hasRows := backend.(rowStatser)
+	if hasRows {
+		rs0 = statser.RowStats()
+	}
+	t0 := eng.Now()
+
+	eng.RunUntil(o.Warmup + o.Measure)
+	c1 := counting.Snapshot()
+	t1 := eng.Now()
+	lat, n := chaser.MeanLatency()
+	if n == 0 {
+		return Sample{}, fmt.Errorf("bench: %s mix %v pace %.1f ns: chaser recorded no samples", spec.Name, mix, paceNs)
+	}
+
+	delta := c1.Sub(c0)
+	s := Sample{
+		Mix:          mix,
+		PaceNs:       paceNs,
+		BWGBs:        delta.BandwidthGBs(t1 - t0),
+		LatNs:        lat.Nanoseconds(),
+		RdRatio:      delta.ReadRatio(),
+		ChaseSamples: n,
+	}
+	if hasRows {
+		hit, empty, miss := statser.RowStats().Sub(rs0).Ratios()
+		s.RowHit, s.RowEmpty, s.RowMiss = hit, empty, miss
+	}
+	for _, g := range gens {
+		g.Stop()
+	}
+	chaser.Stop()
+	return s, nil
+}
+
+// assemble groups samples by mix into curves ordered by injection pressure
+// (descending pace), sanitizes them, and tags each curve with the measured
+// read ratio. Every curve starts at the unloaded anchor.
+func assemble(spec platform.Spec, o Options, samples []Sample, unloaded Sample) *core.Family {
+	fam := &core.Family{
+		Label:         spec.Name,
+		TheoreticalBW: spec.TheoreticalBandwidthGBs(),
+	}
+	for _, mix := range o.Mixes {
+		pts := []core.Point{{BW: unloaded.BWGBs, Latency: unloaded.LatNs}}
+		var ratioSum float64
+		var cnt int
+		// Pressure ascends as pace descends.
+		ordered := make([]Sample, 0, len(o.PacesNs))
+		for _, s := range samples {
+			if s.Mix == mix {
+				ordered = append(ordered, s)
+			}
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].PaceNs > ordered[j].PaceNs })
+		for _, s := range ordered {
+			if s.BWGBs <= unloaded.BWGBs {
+				// A paced point below the anchor carries no information.
+				continue
+			}
+			pts = append(pts, core.Point{BW: s.BWGBs, Latency: s.LatNs})
+			ratioSum += s.RdRatio
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		pts = core.SanitizePoints(pts)
+		if len(pts) < 2 {
+			continue
+		}
+		fam.Curves = append(fam.Curves, core.Curve{
+			ReadRatio: ratioSum / float64(cnt),
+			Points:    pts,
+		})
+	}
+	fam.Sort()
+	return fam
+}
+
+// QuickOptions returns a reduced sweep suitable for tests: three mixes,
+// a coarse pacing ladder and short windows.
+func QuickOptions() Options {
+	return Options{
+		Mixes:   []Mix{{StorePercent: 0}, {StorePercent: 50}, {StorePercent: 100}},
+		PacesNs: []float64{0, 4, 16, 64, 256},
+		Warmup:  5 * sim.Microsecond,
+		Measure: 15 * sim.Microsecond,
+	}
+}

@@ -1,0 +1,310 @@
+// Package cache models the on-chip side of the memory path: the translation
+// of core loads and stores into memory-controller traffic.
+//
+// It is intentionally not a tag-accurate cache simulator. The Mess benchmark
+// defeats caches by construction (arrays larger than the LLC, random
+// pointer-chase), so what matters for bandwidth–latency characterization is
+// the *traffic translation*:
+//
+//   - write-allocate policy: a store miss costs one memory read (the RFO
+//     fill) plus one eventual memory write (the dirty writeback) — the 2×
+//     store amplification at the heart of the paper's STREAM-vs-Mess
+//     analysis (Sec. III);
+//   - write-through/no-allocate behaviour on platforms where STREAM matches
+//     the Mess counters (Graviton 3, H100);
+//   - non-temporal stores that write straight to memory (the >50%-write
+//     Mess kernels);
+//   - MSHR limits bounding per-core memory parallelism;
+//   - a finite write buffer providing back-pressure on posted writebacks;
+//   - the on-chip (cache hierarchy + NoC) round-trip component of the
+//     load-to-use latency;
+//   - optionally, the OpenPiton coherency bug from Sec. IV-C: every
+//     eviction written back, clean or not.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// WritePolicy selects how stores translate into memory traffic.
+type WritePolicy uint8
+
+const (
+	// WriteAllocate: store miss → RFO read now + writeback later.
+	WriteAllocate WritePolicy = iota
+	// WriteThrough: store miss → one memory write, no fill. (Shorthand for
+	// the no-write-allocate behaviour the paper infers on Graviton 3/H100.)
+	WriteThrough
+)
+
+func (p WritePolicy) String() string {
+	if p == WriteAllocate {
+		return "write-allocate"
+	}
+	return "write-through"
+}
+
+// Config parameterizes the hierarchy.
+type Config struct {
+	Policy        WritePolicy
+	OnChipLatency sim.Time // round-trip core↔controller component of load-to-use
+	MSHRs         int      // per-core outstanding demand misses (loads + RFOs)
+	WriteBufs     int      // per-core outstanding posted writebacks
+	WritebackLag  uint64   // eviction distance in bytes for writeback addresses
+	LLCHitRate    float64  // probability an access is served on-chip
+	LLCHitLatency sim.Time // latency of on-chip hits
+	// EvictCleanAsDirty reproduces the OpenPiton coherency bug (Sec. IV-C):
+	// the LLC writes back every evicted line, clean or dirty, so load misses
+	// also generate write traffic.
+	EvictCleanAsDirty bool
+	Seed              uint64 // for the LLC hit-rate draw
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MSHRs == 0 {
+		out.MSHRs = 10
+	}
+	if out.WriteBufs == 0 {
+		out.WriteBufs = 16
+	}
+	if out.WritebackLag == 0 {
+		out.WritebackLag = 4 << 20
+	}
+	if out.Seed == 0 {
+		out.Seed = 0x9e3779b97f4a7c15
+	}
+	return out
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.MSHRs < 0 || c.WriteBufs < 0:
+		return fmt.Errorf("cache: negative MSHR/write-buffer count")
+	case c.LLCHitRate < 0 || c.LLCHitRate > 1:
+		return fmt.Errorf("cache: LLC hit rate %v outside [0,1]", c.LLCHitRate)
+	case c.OnChipLatency < 0:
+		return fmt.Errorf("cache: negative on-chip latency")
+	}
+	return nil
+}
+
+// Hierarchy is the shared on-chip model; create one per platform and one
+// Port per core.
+type Hierarchy struct {
+	eng     *sim.Engine
+	cfg     Config
+	backend mem.Backend
+	rng     uint64
+}
+
+// New builds a hierarchy over the given memory backend.
+func New(eng *sim.Engine, cfg Config, backend mem.Backend) *Hierarchy {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hierarchy{eng: eng, cfg: cfg, backend: backend, rng: cfg.Seed}
+}
+
+// Config reports the hierarchy configuration (after defaulting).
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Port returns a per-core issue port.
+func (h *Hierarchy) Port(coreID int) *Port {
+	return &Port{h: h, id: coreID}
+}
+
+func (h *Hierarchy) nextRand() uint64 {
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	return h.rng
+}
+
+func (h *Hierarchy) llcHit() bool {
+	if h.cfg.LLCHitRate <= 0 {
+		return false
+	}
+	return float64(h.nextRand()%(1<<24))/float64(1<<24) < h.cfg.LLCHitRate
+}
+
+// Port is a single core's interface to the memory hierarchy. Ports are not
+// safe for concurrent use; each belongs to one core on one engine.
+type Port struct {
+	h          *Hierarchy
+	id         int
+	inflight   int // demand misses holding MSHRs
+	wbInflight int // posted writebacks holding write-buffer slots
+
+	// OnFree, when set, is invoked every time an MSHR or write-buffer
+	// slot is released. Issue engines that stall on FreeMSHR/FreeWB must
+	// register here: a write-buffer slot can be freed by a writeback
+	// draining deep in the memory system, with no in-flight completion
+	// callback belonging to the stalled engine.
+	OnFree func()
+
+	// Stats.
+	Loads, Stores, NTStores uint64
+	LLCHits                 uint64
+}
+
+func (p *Port) releaseMSHR() {
+	p.inflight--
+	if p.OnFree != nil {
+		p.OnFree()
+	}
+}
+
+func (p *Port) releaseWB() {
+	p.wbInflight--
+	if p.OnFree != nil {
+		p.OnFree()
+	}
+}
+
+// FreeMSHR reports whether a demand miss can issue now.
+func (p *Port) FreeMSHR() bool { return p.inflight < p.h.cfg.MSHRs }
+
+// FreeWB reports whether a posted write can issue now.
+func (p *Port) FreeWB() bool { return p.wbInflight < p.h.cfg.WriteBufs }
+
+// Outstanding reports current demand misses in flight.
+func (p *Port) Outstanding() int { return p.inflight }
+
+// Load issues one load. done fires at data arrival at the core (load-to-use).
+// The caller must have checked FreeMSHR; Load panics otherwise, because a
+// silent drop would corrupt bandwidth accounting.
+func (p *Port) Load(addr uint64, done func(at sim.Time)) {
+	p.Loads++
+	if p.h.llcHit() {
+		p.LLCHits++
+		p.completeOnChip(done)
+		return
+	}
+	if !p.FreeMSHR() {
+		panic("cache: Load issued with no free MSHR")
+	}
+	p.inflight++
+	p.request(addr, mem.Read, func(at sim.Time) {
+		p.releaseMSHR()
+		p.finish(at, done)
+	})
+	if p.h.cfg.EvictCleanAsDirty {
+		p.buggedWriteback(addr)
+	}
+}
+
+// Store issues one store under the configured write policy. done fires when
+// the store owns the line (write-allocate) or when the write is accepted
+// (write-through); in both cases the core may proceed immediately after.
+func (p *Port) Store(addr uint64, done func(at sim.Time)) {
+	p.Stores++
+	if p.h.llcHit() {
+		p.LLCHits++
+		p.completeOnChip(done)
+		return
+	}
+	if p.h.cfg.Policy == WriteThrough {
+		if !p.FreeWB() {
+			panic("cache: Store issued with no free write buffer")
+		}
+		p.wbInflight++
+		p.request(addr, mem.Write, func(sim.Time) { p.releaseWB() })
+		p.completeOnChip(done)
+		return
+	}
+	// Write-allocate: RFO read now, dirty writeback at fill time.
+	if !p.FreeMSHR() || !p.FreeWB() {
+		panic("cache: Store issued with no free MSHR/write buffer")
+	}
+	p.inflight++
+	p.wbInflight++
+	p.request(addr, mem.Read, func(at sim.Time) {
+		p.writebackFor(addr)
+		p.releaseMSHR()
+		p.finish(at, done)
+	})
+}
+
+// StoreNT issues a non-temporal (streaming) store: one memory write, no RFO.
+func (p *Port) StoreNT(addr uint64, done func(at sim.Time)) {
+	p.NTStores++
+	if !p.FreeWB() {
+		panic("cache: StoreNT issued with no free write buffer")
+	}
+	p.wbInflight++
+	p.request(addr, mem.Write, func(sim.Time) { p.releaseWB() })
+	p.completeOnChip(done)
+}
+
+// writebackFor issues the posted writeback paired with a write-allocate
+// store: the line evicted is modelled as WritebackLag bytes behind the
+// current address, preserving the sequential locality of eviction streams.
+// The write-buffer slot reserved by Store is released when the write drains.
+func (p *Port) writebackFor(addr uint64) {
+	lag := p.h.cfg.WritebackLag
+	if addr < lag {
+		// Cold lines: nothing dirty to evict yet.
+		p.releaseWB()
+		return
+	}
+	p.request(addr-lag, mem.Write, func(sim.Time) { p.releaseWB() })
+}
+
+// buggedWriteback models the OpenPiton clean-eviction bug: the fill caused
+// by a load evicts a line that is written back even though it is clean.
+// Bug traffic deliberately bypasses the write-buffer limit — the broken
+// protocol generates it regardless of buffer occupancy.
+func (p *Port) buggedWriteback(addr uint64) {
+	lag := p.h.cfg.WritebackLag
+	if addr < lag {
+		return
+	}
+	p.request(addr-lag, mem.Write, nil)
+}
+
+// request sends a transaction to the backend after the outbound on-chip
+// delay. The backend completion time is the controller-level completion;
+// the inbound on-chip delay is added by finish for loads.
+func (p *Port) request(addr uint64, op mem.Op, done func(at sim.Time)) {
+	outbound := p.h.cfg.OnChipLatency / 2
+	req := &mem.Request{Addr: addr, Op: op, Src: p.id, Done: done}
+	if outbound == 0 {
+		req.Issued = p.h.eng.Now()
+		p.h.backend.Access(req)
+		return
+	}
+	p.h.eng.After(outbound, func() {
+		req.Issued = p.h.eng.Now()
+		p.h.backend.Access(req)
+	})
+}
+
+// finish delivers a memory completion to the core after the inbound on-chip
+// delay (the other half of OnChipLatency).
+func (p *Port) finish(memDone sim.Time, done func(at sim.Time)) {
+	if done == nil {
+		return
+	}
+	inbound := p.h.cfg.OnChipLatency - p.h.cfg.OnChipLatency/2
+	at := memDone + inbound
+	if inbound == 0 {
+		done(at)
+		return
+	}
+	p.h.eng.Schedule(at, func() { done(at) })
+}
+
+// completeOnChip fires done after the on-chip hit latency.
+func (p *Port) completeOnChip(done func(at sim.Time)) {
+	if done == nil {
+		return
+	}
+	at := p.h.eng.Now() + p.h.cfg.LLCHitLatency
+	p.h.eng.Schedule(at, func() { done(at) })
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics are the quantitative memory-system characteristics the paper
+// derives from a curve family (Fig. 2 and Table I).
+type Metrics struct {
+	// UnloadedLatencyNs is the mean unloaded latency across curves.
+	UnloadedLatencyNs float64
+	// MaxLatencyMinNs..MaxLatencyMaxNs is the "maximum latency range":
+	// across read/write compositions, the range of per-curve maximum
+	// latencies.
+	MaxLatencyMinNs float64
+	MaxLatencyMaxNs float64
+	// SatBWLowGBs..SatBWHighGBs is the "saturated bandwidth range": from
+	// the saturation onset of the pure-read curve (where latency doubles
+	// the unloaded value — the paper's Table I convention, consistent
+	// with read-heavy workloads like HPCG sitting "in the saturated area"
+	// well below it on mixed curves) to the highest bandwidth any
+	// composition achieves.
+	SatBWLowGBs  float64
+	SatBWHighGBs float64
+	// TheoreticalBWGBs is the system's peak bandwidth, for normalization.
+	TheoreticalBWGBs float64
+}
+
+// SatLowFrac reports the saturated-range start as a fraction of the
+// theoretical bandwidth (the "72%" in Table I's "72–91%").
+func (m Metrics) SatLowFrac() float64 {
+	if m.TheoreticalBWGBs == 0 {
+		return 0
+	}
+	return m.SatBWLowGBs / m.TheoreticalBWGBs
+}
+
+// SatHighFrac reports the saturated-range end as a fraction of the
+// theoretical bandwidth.
+func (m Metrics) SatHighFrac() float64 {
+	if m.TheoreticalBWGBs == 0 {
+		return 0
+	}
+	return m.SatBWHighGBs / m.TheoreticalBWGBs
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("unloaded %.0f ns, max latency %.0f–%.0f ns, saturated %.0f–%.0f GB/s (%.0f–%.0f%% of %.0f GB/s)",
+		m.UnloadedLatencyNs, m.MaxLatencyMinNs, m.MaxLatencyMaxNs,
+		m.SatBWLowGBs, m.SatBWHighGBs, 100*m.SatLowFrac(), 100*m.SatHighFrac(), m.TheoreticalBWGBs)
+}
+
+// Metrics derives the Table I quantities from the family.
+func (f *Family) Metrics() Metrics {
+	m := Metrics{TheoreticalBWGBs: f.TheoreticalBW}
+	if len(f.Curves) == 0 {
+		return m
+	}
+	m.MaxLatencyMinNs = math.Inf(1)
+	var unloadedSum float64
+	for i := range f.Curves {
+		c := &f.Curves[i]
+		unloadedSum += c.UnloadedLatency()
+		if ml := c.MaxLatency(); ml < m.MaxLatencyMinNs {
+			m.MaxLatencyMinNs = ml
+		}
+		if ml := c.MaxLatency(); ml > m.MaxLatencyMaxNs {
+			m.MaxLatencyMaxNs = ml
+		}
+		if mb := c.MaxBW(); mb > m.SatBWHighGBs {
+			m.SatBWHighGBs = mb
+		}
+	}
+	m.SatBWLowGBs = f.Curves[len(f.Curves)-1].SaturationOnset()
+	m.UnloadedLatencyNs = unloadedSum / float64(len(f.Curves))
+	return m
+}
+
+// StressWeights control the memory stress score of Sec. VI-B: a weighted
+// sum of the normalized latency position and the normalized curve
+// inclination at the application's operating point.
+type StressWeights struct {
+	Latency float64
+	Slope   float64
+}
+
+// DefaultStressWeights follow the paper's description: latency itself is
+// "a good proxy of the system stress" (dominant term) while the
+// inclination captures sensitivity to bandwidth changes.
+var DefaultStressWeights = StressWeights{Latency: 0.7, Slope: 0.3}
+
+// StressScore positions traffic (readRatio, bw) on the family and reports
+// the memory stress score in [0,1]: 0 for an unloaded system, 1 at the
+// right-most end of the curves.
+func (f *Family) StressScore(readRatio, bw float64, w StressWeights) float64 {
+	if len(f.Curves) == 0 {
+		return 0
+	}
+	lat := f.LatencyAt(readRatio, bw)
+	cur := f.Nearest(readRatio)
+	unloaded := cur.UnloadedLatency()
+	maxLat := cur.MaxLatency()
+	latNorm := 0.0
+	if maxLat > unloaded {
+		latNorm = (lat - unloaded) / (maxLat - unloaded)
+	}
+	latNorm = clamp01(latNorm)
+
+	slope := f.SlopeAt(readRatio, bw)
+	maxSlope := cur.saturationSlope()
+	slopeNorm := 0.0
+	if maxSlope > 0 {
+		slopeNorm = slope / maxSlope
+	}
+	slopeNorm = clamp01(slopeNorm)
+
+	total := w.Latency + w.Slope
+	if total <= 0 {
+		return 0
+	}
+	return clamp01((w.Latency*latNorm + w.Slope*slopeNorm) / total)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

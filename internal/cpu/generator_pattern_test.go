@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/mess-sim/mess/internal/cache"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// The access-pattern extension of Sec. IV-D: strided and random generator
+// walks must degrade row-buffer locality on the detailed DRAM model.
+func TestGeneratorAccessPatterns(t *testing.T) {
+	run := func(p AccessPattern) (hit float64, bw float64) {
+		cfg := dram.DDR4(2666, 2, 1)
+		cfg.CtrlLatency = sim.FromNanoseconds(8)
+		cfg.IdleClose = 250 * sim.Nanosecond
+		eng := sim.New()
+		sys := dram.New(eng, cfg)
+		h := cache.New(eng, cache.Config{MSHRs: 16, WriteBufs: 20}, sys)
+		for g := 0; g < 4; g++ {
+			gen := NewGenerator(eng, h.Port(g), GenConfig{
+				StorePercent: 0,
+				Pattern:      p,
+				LoadBase:     uint64(1)<<33 + uint64(g)*(1<<28+16<<10),
+				StoreBase:    uint64(1)<<40 + uint64(g)*(1<<28),
+				ArrayBytes:   32 << 20,
+				Seed:         uint64(g)*7919 + 13,
+			})
+			gen.Start()
+		}
+		dur := 50 * sim.Microsecond
+		eng.RunUntil(dur)
+		hitR, _, _ := sys.RowStats().Ratios()
+		c := sys.Counters()
+		return hitR, float64(c.TotalBytes()) / dur.Seconds() / 1e9
+	}
+
+	seqHit, seqBW := run(Sequential)
+	strideHit, strideBW := run(Strided)
+	randHit, randBW := run(Random)
+
+	if seqHit < 0.85 {
+		t.Fatalf("sequential hit rate %.2f, want high", seqHit)
+	}
+	if strideHit > seqHit-0.3 {
+		t.Fatalf("strided hit rate %.2f not clearly below sequential %.2f", strideHit, seqHit)
+	}
+	if randHit > seqHit-0.3 {
+		t.Fatalf("random hit rate %.2f not clearly below sequential %.2f", randHit, seqHit)
+	}
+	// Row thrash costs bandwidth: the GUPS-style pattern cannot reach the
+	// sequential stream's throughput.
+	if randBW > seqBW*0.8 {
+		t.Fatalf("random bandwidth %.1f not clearly below sequential %.1f", randBW, seqBW)
+	}
+	if strideBW > seqBW {
+		t.Fatalf("strided bandwidth %.1f above sequential %.1f", strideBW, seqBW)
+	}
+}
+
+func TestStridedPatternTargetsNewRows(t *testing.T) {
+	// With an 8 KiB stride on an 8 KiB row buffer, consecutive accesses
+	// of one stream never share a row.
+	cfg := dram.DDR4(2666, 1, 1)
+	m := dram.NewMapper(&cfg)
+	g := &Generator{cfg: GenConfig{Pattern: Strided, StrideBytes: 8 << 10, ArrayBytes: 32 << 20}, lines: (32 << 20) / 64}
+	var prev dram.Loc
+	for i := 0; i < 50; i++ {
+		off := g.nextOffset(&g.loadLine)
+		loc := m.Map(off)
+		if i > 0 && loc.Bank == prev.Bank && loc.Row == prev.Row {
+			t.Fatalf("consecutive strided accesses share row: %+v then %+v", prev, loc)
+		}
+		prev = loc
+	}
+}

@@ -1,0 +1,330 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/cache"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// Kernel describes one inner-loop iteration of a workload at cache-line
+// granularity: how many distinct arrays are read and written per line-step,
+// how much non-memory work accompanies them, and whether the loads form a
+// dependence chain. STREAM, LMbench, multichase, the HPCG phases and the
+// SPEC-like synthetic suite are all expressed as kernels.
+type Kernel struct {
+	Name string
+	// Loads and Stores are the number of distinct arrays touched per
+	// line-step; each contributes one cache-line transaction per step.
+	Loads  int
+	Stores int
+	// ElemsPerLine is the number of loop iterations covered by one line
+	// (8 for float64 arrays); it scales the instruction count.
+	ElemsPerLine int
+	// ALUPerElem is the number of non-memory instructions per element
+	// iteration (address arithmetic, FP ops, branch share).
+	ALUPerElem int
+	// Dependent serializes the kernel on its loads: the next line-step
+	// cannot begin until the previous load returns (pointer chase).
+	Dependent bool
+	// NonTemporal uses streaming stores (no RFO).
+	NonTemporal bool
+	// Random makes every access target a random line of its array (GUPS).
+	Random bool
+}
+
+// InstrPerStep reports retired instructions per line-step.
+func (k Kernel) InstrPerStep() uint64 {
+	e := k.ElemsPerLine
+	if e == 0 {
+		e = 8
+	}
+	return uint64(e*(k.Loads+k.Stores) + e*k.ALUPerElem)
+}
+
+// AppBytesPerStep reports the application-visible bytes moved per line-step
+// (the STREAM accounting: one read per load array, one write per store
+// array, no RFO amplification).
+func (k Kernel) AppBytesPerStep() uint64 {
+	return uint64((k.Loads + k.Stores) * mem.LineSize)
+}
+
+// Standard kernels.
+var (
+	// STREAM kernels (McCalpin). ALU counts per element include index
+	// arithmetic and the loop-branch share.
+	StreamCopy  = Kernel{Name: "STREAM:copy", Loads: 1, Stores: 1, ElemsPerLine: 8, ALUPerElem: 2}
+	StreamScale = Kernel{Name: "STREAM:scale", Loads: 1, Stores: 1, ElemsPerLine: 8, ALUPerElem: 3}
+	StreamAdd   = Kernel{Name: "STREAM:add", Loads: 2, Stores: 1, ElemsPerLine: 8, ALUPerElem: 3}
+	StreamTriad = Kernel{Name: "STREAM:triad", Loads: 2, Stores: 1, ElemsPerLine: 8, ALUPerElem: 4}
+
+	// LMbench lat_mem_rd: one dependent load per line, minimal loop body.
+	LMbench = Kernel{Name: "lmbench", Loads: 1, ElemsPerLine: 1, ALUPerElem: 1, Dependent: true, Random: true}
+	// Google multichase: dependent chase with a slightly heavier body.
+	Multichase = Kernel{Name: "multichase", Loads: 1, ElemsPerLine: 1, ALUPerElem: 3, Dependent: true, Random: true}
+	// GUPS random update: read-modify-write of random lines.
+	GUPS = Kernel{Name: "gups", Loads: 1, Stores: 1, ElemsPerLine: 1, ALUPerElem: 2, Random: true}
+)
+
+// CoreConfig describes the mechanistic core executing a kernel.
+type CoreConfig struct {
+	CycleTime sim.Time // core clock period
+	Width     int      // sustained non-memory IPC (superscalar width)
+	// Bases of the arrays used by the kernel; len ≥ Loads+Stores.
+	ArrayBases []uint64
+	ArrayBytes uint64
+	Seed       uint64
+}
+
+func (c *CoreConfig) validate(k Kernel) error {
+	if c.CycleTime <= 0 {
+		return fmt.Errorf("cpu: kernel core needs a positive cycle time")
+	}
+	if len(c.ArrayBases) < k.Loads+k.Stores {
+		return fmt.Errorf("cpu: kernel %s needs %d arrays, got %d", k.Name, k.Loads+k.Stores, len(c.ArrayBases))
+	}
+	if c.ArrayBytes == 0 || c.ArrayBytes%mem.LineSize != 0 {
+		return fmt.Errorf("cpu: array bytes %d must be a positive multiple of the line size", c.ArrayBytes)
+	}
+	return nil
+}
+
+// KernelCore executes a Kernel on one port and measures IPC and application
+// bandwidth. The model is mechanistic: non-memory work paces issue at
+// Width instructions per cycle; memory transactions overlap with work and
+// with each other up to the port's MSHR limit; dependent kernels serialize
+// on load completion. This is the level of core fidelity the paper's
+// IPC-error experiments require — the experiments vary only the memory
+// model underneath.
+type KernelCore struct {
+	eng    *sim.Engine
+	port   *cache.Port
+	kernel Kernel
+	cfg    CoreConfig
+
+	lines   uint64
+	lineIdx uint64
+	rng     uint64
+
+	running     bool
+	wakePending bool
+	stepOpen    bool // a line-step is in progress (guards re-entrant wake-ups)
+	nextAt      sim.Time
+
+	pendingOps []pendingOp // ops of the current line-step not yet issued
+
+	startAt sim.Time
+	instret uint64
+	steps   uint64
+	lastAt  sim.Time
+}
+
+type pendingOp struct {
+	arr     int
+	isStore bool
+}
+
+// NewKernelCore builds a kernel executor; it panics on config errors.
+func NewKernelCore(eng *sim.Engine, port *cache.Port, k Kernel, cfg CoreConfig) *KernelCore {
+	if err := cfg.validate(k); err != nil {
+		panic(err)
+	}
+	if cfg.Width == 0 {
+		cfg.Width = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x853c49e6748fea9b
+	}
+	return &KernelCore{
+		eng:    eng,
+		port:   port,
+		kernel: k,
+		cfg:    cfg,
+		lines:  cfg.ArrayBytes / mem.LineSize,
+		rng:    cfg.Seed,
+	}
+}
+
+// Start begins execution. Like the traffic generator, the core listens on
+// the port's OnFree hook so that stalls on write-buffer space are released
+// when downstream writebacks drain.
+func (c *KernelCore) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.port.OnFree = func() { c.tryIssue() }
+	c.startAt = c.eng.Now()
+	c.nextAt = c.eng.Now()
+	c.beginStep()
+}
+
+// Stop halts execution after in-flight operations complete.
+func (c *KernelCore) Stop() { c.running = false }
+
+// ResetStats restarts the measurement window at the current time.
+func (c *KernelCore) ResetStats() {
+	c.instret = 0
+	c.steps = 0
+	c.startAt = c.eng.Now()
+}
+
+// IPC reports instructions per cycle over the measurement window.
+func (c *KernelCore) IPC() float64 {
+	elapsed := c.lastAt - c.startAt
+	if elapsed <= 0 {
+		return 0
+	}
+	cycles := float64(elapsed) / float64(c.cfg.CycleTime)
+	return float64(c.instret) / cycles
+}
+
+// Steps reports completed line-steps in the window.
+func (c *KernelCore) Steps() uint64 { return c.steps }
+
+// AppBandwidthGBs reports the application-level (STREAM-accounted)
+// bandwidth over the window.
+func (c *KernelCore) AppBandwidthGBs() float64 {
+	elapsed := c.lastAt - c.startAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.steps*c.kernel.AppBytesPerStep()) / elapsed.Seconds() / 1e9
+}
+
+func (c *KernelCore) nextRand() uint64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+func (c *KernelCore) addrFor(arr int) uint64 {
+	var line uint64
+	if c.kernel.Random {
+		line = c.nextRand() % c.lines
+	} else {
+		line = c.lineIdx % c.lines
+	}
+	return c.cfg.ArrayBases[arr] + line*mem.LineSize
+}
+
+// beginStep queues the memory operations of one line-step and paces by the
+// step's non-memory work.
+func (c *KernelCore) beginStep() {
+	if !c.running {
+		return
+	}
+	k := &c.kernel
+	c.stepOpen = true
+	for a := 0; a < k.Loads; a++ {
+		c.pendingOps = append(c.pendingOps, pendingOp{arr: a})
+	}
+	for a := 0; a < k.Stores; a++ {
+		c.pendingOps = append(c.pendingOps, pendingOp{arr: k.Loads + a, isStore: true})
+	}
+	// Pace on the full instruction count: every instruction, memory ones
+	// included, occupies an issue slot, bounding IPC at the core width.
+	instr := k.InstrPerStep()
+	cycles := (instr + uint64(c.cfg.Width) - 1) / uint64(c.cfg.Width)
+	c.nextAt = maxT(c.nextAt, c.eng.Now()) + sim.Time(cycles)*c.cfg.CycleTime
+	c.tryIssue()
+}
+
+func (c *KernelCore) stepElems() int {
+	if c.kernel.ElemsPerLine == 0 {
+		return 8
+	}
+	return c.kernel.ElemsPerLine
+}
+
+// tryIssue drains the pending ops of the current step as buffers allow,
+// then completes the step. It is re-entrant: OnFree wake-ups may arrive
+// while no step is open, which must be a no-op.
+func (c *KernelCore) tryIssue() {
+	if !c.running || !c.stepOpen {
+		return
+	}
+	for len(c.pendingOps) > 0 {
+		op := c.pendingOps[0]
+		if !c.canIssue(op) {
+			return // an OnFree wake-up will re-enter
+		}
+		c.pendingOps = c.pendingOps[1:]
+		c.issue(op)
+		if c.kernel.Dependent && !op.isStore {
+			return // completeStep continues from the load callback
+		}
+	}
+	if !c.kernel.Dependent {
+		c.completeStep()
+	}
+}
+
+func (c *KernelCore) canIssue(op pendingOp) bool {
+	switch {
+	case !op.isStore:
+		return c.port.FreeMSHR()
+	case c.kernel.NonTemporal:
+		return c.port.FreeWB()
+	default:
+		return c.port.FreeMSHR() && c.port.FreeWB()
+	}
+}
+
+func (c *KernelCore) issue(op pendingOp) {
+	addr := c.addrFor(op.arr)
+	if op.isStore {
+		if c.kernel.NonTemporal {
+			c.port.StoreNT(addr, func(sim.Time) { c.tryIssue() })
+		} else {
+			c.port.Store(addr, func(sim.Time) { c.tryIssue() })
+		}
+		return
+	}
+	if c.kernel.Dependent {
+		c.port.Load(addr, func(at sim.Time) { c.dependentLoadDone(at) })
+		return
+	}
+	c.port.Load(addr, func(sim.Time) { c.tryIssue() })
+}
+
+// dependentLoadDone resumes a serialized kernel once its load returns.
+func (c *KernelCore) dependentLoadDone(at sim.Time) {
+	if !c.running || !c.stepOpen {
+		return
+	}
+	if len(c.pendingOps) > 0 {
+		c.tryIssue()
+		if len(c.pendingOps) > 0 {
+			return
+		}
+	}
+	c.completeStep()
+}
+
+// completeStep retires the step's instructions and schedules the next step
+// at the pacing deadline.
+func (c *KernelCore) completeStep() {
+	if !c.running || !c.stepOpen {
+		return
+	}
+	c.stepOpen = false
+	c.instret += c.kernel.InstrPerStep()
+	c.steps++
+	c.lineIdx++
+	c.lastAt = c.eng.Now()
+	if c.nextAt > c.eng.Now() {
+		if c.wakePending {
+			return
+		}
+		c.wakePending = true
+		c.eng.Schedule(c.nextAt, func() {
+			c.wakePending = false
+			c.beginStep()
+		})
+		return
+	}
+	c.beginStep()
+}

@@ -1,0 +1,189 @@
+package cxl
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// SweepOptions configure the direct-drive characterization of a backend —
+// the model equivalent of running the manufacturer's SystemC testbench to
+// obtain device-level bandwidth–latency curves (Fig. 14a).
+type SweepOptions struct {
+	// WriteFractions lists the traffic compositions to sweep; each value
+	// is the fraction of memory traffic that is writes. The CXL curves
+	// span 0 (100%-read) to 1 (100%-write), unlike the host-side Mess
+	// sweep which cannot exceed 50% writes without streaming stores.
+	WriteFractions []float64
+	// RatesGBs is the open-loop injection sweep.
+	RatesGBs []float64
+	// Warmup and Measure window durations.
+	Warmup  sim.Time
+	Measure sim.Time
+	// Parallelism bounds concurrent points.
+	Parallelism int
+}
+
+func (o *SweepOptions) withDefaults(maxGBs float64) SweepOptions {
+	out := *o
+	if len(out.WriteFractions) == 0 {
+		out.WriteFractions = []float64{0, 0.25, 0.5, 0.75, 1.0}
+	}
+	if len(out.RatesGBs) == 0 {
+		for f := 0.04; f <= 1.301; f += 0.06 {
+			out.RatesGBs = append(out.RatesGBs, f*maxGBs)
+		}
+	}
+	if out.Warmup == 0 {
+		out.Warmup = 20 * sim.Microsecond
+	}
+	if out.Measure == 0 {
+		out.Measure = 60 * sim.Microsecond
+	}
+	if out.Parallelism == 0 {
+		out.Parallelism = 8
+	}
+	return out
+}
+
+// MeasureFamily characterizes a backend by open-loop injection: for each
+// (write fraction, rate) point it injects deterministic-spaced traffic and
+// measures the achieved bandwidth and the round-trip latency of a
+// concurrent dependent-read probe.
+func MeasureFamily(makeBackend mem.BackendFactory, label string, theoreticalGBs float64, opt SweepOptions) *core.Family {
+	o := opt.withDefaults(theoreticalGBs)
+	type key struct{ wfIdx, rIdx int }
+	type point struct {
+		bw, lat, ratio float64
+	}
+	results := make(map[key]point)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Parallelism)
+
+	for wi, wf := range o.WriteFractions {
+		for ri, rate := range o.RatesGBs {
+			wg.Add(1)
+			go func(wi, ri int, wf, rate float64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				bw, lat, ratio := measureDevicePoint(makeBackend, wf, rate, o)
+				mu.Lock()
+				results[key{wi, ri}] = point{bw, lat, ratio}
+				mu.Unlock()
+			}(wi, ri, wf, rate)
+		}
+	}
+	wg.Wait()
+
+	fam := &core.Family{Label: label, TheoreticalBW: theoreticalGBs}
+	for wi := range o.WriteFractions {
+		var pts []core.Point
+		var ratioSum float64
+		for ri := range o.RatesGBs {
+			p := results[key{wi, ri}]
+			if p.lat <= 0 {
+				continue
+			}
+			pts = append(pts, core.Point{BW: p.bw, Latency: p.lat})
+			ratioSum += p.ratio
+		}
+		pts = core.SanitizePoints(pts)
+		if len(pts) < 2 {
+			continue
+		}
+		fam.Curves = append(fam.Curves, core.Curve{
+			ReadRatio: ratioSum / float64(len(pts)),
+			Points:    pts,
+		})
+	}
+	sort.Slice(fam.Curves, func(i, j int) bool { return fam.Curves[i].ReadRatio < fam.Curves[j].ReadRatio })
+	return fam
+}
+
+// measureDevicePoint injects `rate` GB/s with the given write fraction and
+// returns (achieved bandwidth GB/s, probe latency ns, read ratio).
+func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64, o SweepOptions) (float64, float64, float64) {
+	eng := sim.New()
+	backend := makeBackend(eng)
+	counting := mem.NewCounting(backend)
+
+	// Open-loop injector: deterministic spacing, Bresenham write mix,
+	// sequential addresses across several streams. Cap outstanding to
+	// bound queue growth past saturation.
+	interval := sim.FromNanoseconds(float64(mem.LineSize) / rate)
+	const maxOutstanding = 256
+	outstanding := 0
+	var line uint64
+	acc := 0.0
+	deadline := o.Warmup + o.Measure
+	var inject func()
+	inject = func() {
+		if eng.Now() >= deadline {
+			return
+		}
+		if outstanding < maxOutstanding {
+			acc += writeFrac
+			op := mem.Read
+			if acc >= 1 {
+				acc--
+				op = mem.Write
+			}
+			addr := (line%8)*(1<<28+16<<10) + (line/8)*mem.LineSize
+			line++
+			outstanding++
+			counting.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) { outstanding-- }})
+		}
+		eng.After(interval, inject)
+	}
+	inject()
+
+	// Latency probe: dependent reads in their own address region.
+	var probeLatSum sim.Time
+	var probeN uint64
+	probeLine := uint64(0)
+	var probe func()
+	probe = func() {
+		if eng.Now() >= deadline {
+			return
+		}
+		probeLine = probeLine*1664525 + 1013904223
+		addr := uint64(1)<<41 + (probeLine%(1<<18))*mem.LineSize
+		start := eng.Now()
+		counting.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) {
+			if start >= o.Warmup {
+				probeLatSum += at - start
+				probeN++
+			}
+			eng.After(sim.Nanosecond, probe)
+		}})
+	}
+	probe()
+
+	eng.RunUntil(o.Warmup)
+	c0 := counting.Snapshot()
+	eng.RunUntil(deadline)
+	// Drain stragglers for a bounded time so probe callbacks settle.
+	eng.RunUntil(deadline + 5*sim.Microsecond)
+	c1 := counting.Snapshot()
+
+	delta := c1.Sub(c0)
+	bw := delta.BandwidthGBs(o.Measure)
+	if probeN == 0 {
+		return bw, 0, delta.ReadRatio()
+	}
+	lat := (probeLatSum / sim.Time(probeN)).Nanoseconds()
+	return bw, lat, delta.ReadRatio()
+}
+
+// Family measures the default expander's curves.
+func Family(opt SweepOptions) *core.Family {
+	cfg := Default()
+	return MeasureFamily(func(eng *sim.Engine) mem.Backend {
+		return New(eng, cfg)
+	}, "CXL memory expander", cfg.MaxTheoreticalGBs(), opt)
+}

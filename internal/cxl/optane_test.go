@@ -1,0 +1,96 @@
+package cxl
+
+import (
+	"testing"
+
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+func TestOptaneIdleReadLatency(t *testing.T) {
+	eng := sim.New()
+	o := NewOptane(eng, DefaultOptane())
+	var lat sim.Time
+	o.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at }})
+	eng.Run()
+	ns := lat.Nanoseconds()
+	if ns < 165 || ns > 190 {
+		t.Fatalf("Optane idle read latency = %.0f ns, want ≈170", ns)
+	}
+}
+
+func optanePump(writeFrac float64) (readBW, writeBW float64) {
+	eng := sim.New()
+	o := NewOptane(eng, DefaultOptane())
+	dur := 200 * sim.Microsecond
+	outstanding := 0
+	var rbytes, wbytes uint64
+	var line uint64
+	acc := 0.0
+	var inject func()
+	inject = func() {
+		for outstanding < 64 && eng.Now() < dur {
+			acc += writeFrac
+			op := mem.Read
+			if acc >= 1 {
+				acc--
+				op = mem.Write
+			}
+			addr := (line % (1 << 22)) * mem.LineSize
+			line++
+			outstanding++
+			o.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) {
+				outstanding--
+				if op == mem.Read {
+					rbytes += mem.LineSize
+				} else {
+					wbytes += mem.LineSize
+				}
+				inject()
+			}})
+		}
+	}
+	inject()
+	eng.RunUntil(dur)
+	return float64(rbytes) / dur.Seconds() / 1e9, float64(wbytes) / dur.Seconds() / 1e9
+}
+
+func TestOptaneAsymmetricBandwidth(t *testing.T) {
+	cfg := DefaultOptane()
+	readBW, _ := optanePump(0)
+	_, writeBW := optanePump(1)
+	maxRead := cfg.ReadGBs * float64(cfg.Modules)
+	maxWrite := cfg.WriteGBs * float64(cfg.Modules)
+	if readBW < 0.85*maxRead || readBW > 1.05*maxRead {
+		t.Fatalf("Optane read bandwidth %.1f GB/s, want ≈%.1f", readBW, maxRead)
+	}
+	if writeBW < 0.85*maxWrite || writeBW > 1.05*maxWrite {
+		t.Fatalf("Optane write bandwidth %.1f GB/s, want ≈%.1f", writeBW, maxWrite)
+	}
+	if writeBW > readBW {
+		t.Fatal("Optane asymmetry inverted")
+	}
+}
+
+func TestOptaneFamilyShape(t *testing.T) {
+	fam := OptaneFamily(SweepOptions{
+		WriteFractions: []float64{0, 0.5},
+		RatesGBs:       []float64{1, 3, 6, 9, 12, 15},
+		Warmup:         6 * sim.Microsecond,
+		Measure:        20 * sim.Microsecond,
+	})
+	if err := fam.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pureRead := fam.Nearest(1.0)
+	mixed := fam.Nearest(0.5)
+	// DRAM-unlike: mixed traffic saturates far below pure reads (the
+	// write engine is the bottleneck), and the unloaded latency is far
+	// above any DRAM in Table I.
+	if mixed.MaxBW() > 0.8*pureRead.MaxBW() {
+		t.Fatalf("Optane mixed max BW %.1f not well below pure-read %.1f", mixed.MaxBW(), pureRead.MaxBW())
+	}
+	if u := pureRead.UnloadedLatency(); u < 160 {
+		t.Fatalf("Optane unloaded latency %.0f ns too low", u)
+	}
+}

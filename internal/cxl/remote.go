@@ -1,0 +1,84 @@
+package cxl
+
+import (
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// RemoteSocket models the industrial CXL-emulation practice the paper's
+// Appendix B evaluates: using the second socket of a dual-socket server as
+// a CPU-less memory expander. Requests cross the inter-socket interconnect
+// (UPI-class, adding latency in both directions) into a full DDR memory
+// system — more channels and banks than the CXL device, hence a higher
+// saturated-bandwidth range, but a higher unloaded latency (the paper
+// measures ≈28 ns over the CXL device at low load).
+type RemoteSocket struct {
+	eng  *sim.Engine
+	hop  sim.Time
+	ddr  *dram.System
+	peak float64
+}
+
+// RemoteSocketConfig parameterizes the emulation.
+type RemoteSocketConfig struct {
+	// HopOneWay is the inter-socket interconnect latency per direction.
+	HopOneWay sim.Time
+	// DDR is the remote socket's memory system.
+	DDR dram.Config
+}
+
+// DefaultRemoteSocket matches the Appendix-B setup: the remote socket of a
+// Skylake-class server, reached over a ≈65 ns one-way hop, with its memory
+// population trimmed so the remote bandwidth exceeds the CXL device's
+// saturated range but stays in the same class (the paper's emulation
+// reaches higher bandwidth than the target CXL device).
+func DefaultRemoteSocket() RemoteSocketConfig {
+	ddr := dram.DDR4(2666, 2, 1)
+	ddr.CtrlLatency = sim.FromNanoseconds(8)
+	ddr.IdleClose = 250 * sim.Nanosecond
+	return RemoteSocketConfig{
+		HopOneWay: sim.FromNanoseconds(92),
+		DDR:       ddr,
+	}
+}
+
+// NewRemoteSocket builds the model.
+func NewRemoteSocket(eng *sim.Engine, cfg RemoteSocketConfig) *RemoteSocket {
+	return &RemoteSocket{
+		eng:  eng,
+		hop:  cfg.HopOneWay,
+		ddr:  dram.New(eng, cfg.DDR),
+		peak: cfg.DDR.PeakBandwidthGBs(),
+	}
+}
+
+// PeakBandwidthGBs reports the remote memory's theoretical bandwidth.
+func (r *RemoteSocket) PeakBandwidthGBs() float64 { return r.peak }
+
+// Access implements mem.Backend: a hop out, the remote DDR access, a hop
+// back.
+func (r *RemoteSocket) Access(req *mem.Request) {
+	inner := &mem.Request{Addr: req.Addr, Op: req.Op, Src: req.Src}
+	inner.Done = func(ddrDone sim.Time) {
+		at := ddrDone + r.hop
+		if done := req.Done; done != nil {
+			r.eng.Schedule(at, func() { done(at) })
+		}
+	}
+	r.eng.Schedule(r.eng.Now()+r.hop, func() { r.ddr.Access(inner) })
+}
+
+// RemoteSocketFamily measures the remote-socket emulation's curves with the
+// same device-level sweep used for the CXL expander, so the two are
+// directly comparable (Fig. 17).
+func RemoteSocketFamily(opt SweepOptions) *core.Family {
+	cfg := DefaultRemoteSocket()
+	peak := cfg.DDR.PeakBandwidthGBs()
+	return MeasureFamily(func(eng *sim.Engine) mem.Backend {
+		return NewRemoteSocket(eng, cfg)
+	}, "Remote-socket emulation", peak, opt)
+}
+
+var _ mem.Backend = (*RemoteSocket)(nil)

@@ -1,0 +1,453 @@
+package dram
+
+import (
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// RowStats counts row-buffer outcomes, mirroring the hardware counters the
+// paper reads on Cascade Lake (Sec. IV-D, Fig. 7).
+type RowStats struct {
+	Hits    uint64
+	Empties uint64
+	Misses  uint64
+}
+
+// Total reports the number of classified accesses.
+func (s RowStats) Total() uint64 { return s.Hits + s.Empties + s.Misses }
+
+// Ratios reports the hit/empty/miss fractions; an empty window reports zeros.
+func (s RowStats) Ratios() (hit, empty, miss float64) {
+	t := s.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(s.Hits) / float64(t), float64(s.Empties) / float64(t), float64(s.Misses) / float64(t)
+}
+
+// Sub returns the difference s − prev.
+func (s RowStats) Sub(prev RowStats) RowStats {
+	return RowStats{Hits: s.Hits - prev.Hits, Empties: s.Empties - prev.Empties, Misses: s.Misses - prev.Misses}
+}
+
+func (s *RowStats) add(o rowOutcome) {
+	switch o {
+	case rowHit:
+		s.Hits++
+	case rowEmpty:
+		s.Empties++
+	default:
+		s.Misses++
+	}
+}
+
+type rowOutcome uint8
+
+const (
+	rowHit rowOutcome = iota
+	rowEmpty
+	rowMiss
+)
+
+type bank struct {
+	openRow    int64    // -1 when closed
+	actAt      sim.Time // time of the last ACT
+	casReadyAt sim.Time // earliest next CAS issue
+	preReadyAt sim.Time // earliest precharge
+	actReadyAt sim.Time // earliest next ACT (set when a precharge is committed)
+	lastTouch  sim.Time // end of the last data burst (drives idle auto-close)
+}
+
+type chanReq struct {
+	req *mem.Request
+	loc Loc
+	at  sim.Time // arrival at the controller
+}
+
+// channel is one memory channel: its banks, its request queues and its
+// scheduler state. Channels are driven by decide events: at most one pending
+// decide event exists per channel, scheduled shortly before the data bus
+// frees so the scheduler can still reorder late-arriving row hits.
+type channel struct {
+	eng *sim.Engine
+	cfg *Config
+	t   *Timing
+
+	banks     []bank       // ranks × banks
+	actHist   [][]sim.Time // per rank: last 4 ACT times (tFAW window)
+	lastAct   []sim.Time   // per rank: last ACT (tRRD)
+	refOffset []sim.Time   // per rank: first refresh window start
+
+	busFreeAt   sim.Time
+	lastIsW     bool
+	haveDir     bool
+	lastCASBank int // rank*banks+bank of the last CAS, -1 initially
+
+	readQ      []chanReq
+	writeQ     []chanReq
+	draining   bool
+	drainCount int // writes served in the current drain episode
+
+	readHead       *mem.Request // current head of the read queue
+	readHeadBypass int          // times the head was bypassed by row hits
+
+	decidePending bool
+	decideAt      sim.Time
+
+	counters mem.Counters
+	rowStats RowStats
+
+	readLatSum sim.Time
+	readLatN   uint64
+}
+
+func newChannel(eng *sim.Engine, cfg *Config, chIdx int) *channel {
+	c := &channel{
+		eng:       eng,
+		cfg:       cfg,
+		t:         &cfg.Timing,
+		banks:     make([]bank, cfg.Ranks*cfg.Banks),
+		actHist:   make([][]sim.Time, cfg.Ranks),
+		lastAct:   make([]sim.Time, cfg.Ranks),
+		refOffset: make([]sim.Time, cfg.Ranks),
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	c.lastCASBank = -1
+	for r := 0; r < cfg.Ranks; r++ {
+		c.actHist[r] = make([]sim.Time, 0, 4)
+		// No ACT has happened yet: place the "previous" one far enough in
+		// the past that tRRD never constrains the first activate.
+		c.lastAct[r] = -(cfg.Timing.FAW + cfg.Timing.RRD)
+		// Stagger refresh across ranks and channels so refresh storms do
+		// not synchronize system-wide.
+		c.refOffset[r] = cfg.Timing.REFI * sim.Time(chIdx*cfg.Ranks+r+1) / sim.Time(cfg.Channels*cfg.Ranks+1)
+	}
+	return c
+}
+
+// Refresh is modelled analytically rather than with perpetual events:
+// rank r is blocked during [refOffset+k·REFI, refOffset+k·REFI+RFC) for
+// every k ≥ 0, and each window closes all rows in the rank. Commands that
+// would land inside a window slide to its end.
+
+// refreshAdjust pushes t out of any refresh window of the rank.
+func (c *channel) refreshAdjust(rank int, t sim.Time) sim.Time {
+	if c.t.REFI <= 0 {
+		return t
+	}
+	off := c.refOffset[rank]
+	if t < off {
+		return t
+	}
+	k := (t - off) / c.t.REFI
+	start := off + k*c.t.REFI
+	if t < start+c.t.RFC {
+		return start + c.t.RFC
+	}
+	return t
+}
+
+// lastRefreshStart reports the start of the most recent refresh window at
+// or before t, or a negative time when none has occurred yet.
+func (c *channel) lastRefreshStart(rank int, t sim.Time) sim.Time {
+	if c.t.REFI <= 0 {
+		return -1
+	}
+	off := c.refOffset[rank]
+	if t < off {
+		return -1
+	}
+	k := (t - off) / c.t.REFI
+	return off + k*c.t.REFI
+}
+
+func (c *channel) enqueue(req *mem.Request, loc Loc) {
+	cr := chanReq{req: req, loc: loc, at: c.eng.Now()}
+	if req.Op == mem.Write {
+		// Writes are posted: the core never waits on them. Done still
+		// fires when the write drains to the device, so that write-buffer
+		// slots upstream provide back-pressure against unbounded queues.
+		c.writeQ = append(c.writeQ, cr)
+	} else {
+		c.readQ = append(c.readQ, cr)
+	}
+	c.kick()
+}
+
+// kick (re)schedules the decide event. The event is placed a lookahead
+// before the bus frees, so the scheduler commits each burst just in time.
+func (c *channel) kick() {
+	if len(c.readQ) == 0 && len(c.writeQ) == 0 {
+		return
+	}
+	lookahead := c.t.RP + c.t.RCD + c.t.CL
+	at := c.busFreeAt - lookahead
+	now := c.eng.Now()
+	if at < now {
+		at = now
+	}
+	if c.decidePending && c.decideAt <= at {
+		return
+	}
+	c.decidePending = true
+	c.decideAt = at
+	c.eng.Schedule(at, func() {
+		c.decidePending = false
+		c.decide()
+	})
+}
+
+// decide picks the next request (FR-FCFS within the active direction) and
+// commits its data burst on the bus.
+func (c *channel) decide() {
+	writes := c.pickDirection()
+	var q *[]chanReq
+	if writes {
+		q = &c.writeQ
+	} else {
+		q = &c.readQ
+	}
+	if len(*q) == 0 {
+		c.kick()
+		return
+	}
+	idx := c.pickFRFCFS(*q, !writes)
+	cr := (*q)[idx]
+	*q = append((*q)[:idx], (*q)[idx+1:]...)
+
+	c.issue(cr, writes)
+	c.kick()
+}
+
+// pickDirection applies write-drain watermarks: reads have priority; a
+// write drain starts when the write queue reaches WriteHi (or reads run
+// dry) and continues down to WriteLo. A drain episode is additionally
+// bounded: under a sustained write flood, posted writebacks refill the
+// queue as fast as it drains and the low watermark is never reached, which
+// would starve reads forever. Real controllers bound write bursts for the
+// same reason.
+func (c *channel) pickDirection() bool {
+	if c.draining {
+		switch {
+		case len(c.writeQ) <= c.cfg.WriteLo || len(c.writeQ) == 0:
+			c.draining = false
+		case c.drainCount >= 2*c.cfg.WriteHi && len(c.readQ) > 0:
+			// Yield to the waiting reads immediately; the drain (and its
+			// episode counter) restarts on the next decision.
+			c.draining = false
+			return false
+		default:
+			c.drainCount++
+			return true
+		}
+	}
+	if len(c.readQ) == 0 {
+		return len(c.writeQ) > 0
+	}
+	if len(c.writeQ) >= c.cfg.WriteHi {
+		c.draining = true
+		c.drainCount = 1
+		return true
+	}
+	return false
+}
+
+// pickFRFCFS returns the index of the request to issue next: the oldest
+// row-hit in a different bank than the previous CAS if one exists (bank-
+// group interleaving hides tCCD_L, which is how real controllers keep the
+// bus saturated), otherwise the oldest row-hit, otherwise the oldest
+// request.
+//
+// Unfairness is bounded by a bypass count, not by age: the read-queue head
+// may be bypassed by row hits at most BypassCap times before it is served
+// unconditionally. A count bound is self-stabilizing — it costs at most one
+// row-miss service per BypassCap hits regardless of load, unlike time-based
+// aging, which under saturation escalates everything and collapses row-hit
+// batching (and with it, bandwidth).
+func (c *channel) pickFRFCFS(q []chanReq, isRead bool) int {
+	limit := c.cfg.FRFCFSWindow
+	if limit > len(q) {
+		limit = len(q)
+	}
+	now := c.eng.Now()
+	if isRead {
+		if q[0].req != c.readHead {
+			c.readHead = q[0].req
+			c.readHeadBypass = 0
+		}
+		if c.cfg.BypassCap > 0 && c.readHeadBypass >= c.cfg.BypassCap {
+			return 0
+		}
+	}
+	// Optional time-based escalation (disabled in the presets; see the
+	// AgeCap documentation).
+	if c.cfg.AgeCap > 0 {
+		bound := c.cfg.AgeCap + sim.Time(len(q))*c.t.Burst
+		if now-q[0].at > bound {
+			return 0
+		}
+	}
+	firstHit := -1
+	for i := 0; i < limit; i++ {
+		loc := q[i].loc
+		bi := loc.Rank*c.cfg.Banks + loc.Bank
+		bk := &c.banks[bi]
+		if bk.openRow == loc.Row && c.rowAvailable(bk, loc.Rank, now) {
+			if bi != c.lastCASBank {
+				if isRead && i != 0 {
+					c.readHeadBypass++
+				}
+				return i
+			}
+			if firstHit < 0 {
+				firstHit = i
+			}
+		}
+	}
+	if firstHit >= 0 {
+		if isRead && firstHit != 0 {
+			c.readHeadBypass++
+		}
+		return firstHit
+	}
+	return 0
+}
+
+// rowAvailable reports whether the bank's open row is still usable at t:
+// it must not have auto-precharged after the idle-close timeout (adaptive
+// page policy) and must not have been closed by an intervening refresh.
+func (c *channel) rowAvailable(bk *bank, rank int, t sim.Time) bool {
+	if bk.openRow < 0 {
+		return false
+	}
+	if c.cfg.IdleClose > 0 && t-bk.lastTouch > c.cfg.IdleClose {
+		return false
+	}
+	if rs := c.lastRefreshStart(rank, t); rs >= 0 && bk.lastTouch < rs {
+		return false
+	}
+	return true
+}
+
+// issue commits one transaction: resolves the row outcome, computes the
+// earliest legal data burst, updates bank/rank/bus state and schedules the
+// completion callback.
+func (c *channel) issue(cr chanReq, isWrite bool) {
+	now := c.eng.Now()
+	loc := cr.loc
+	rank := loc.Rank
+	bk := &c.banks[rank*c.cfg.Banks+loc.Bank]
+
+	var outcome rowOutcome
+	switch {
+	case c.rowAvailable(bk, rank, now) && bk.openRow == loc.Row:
+		outcome = rowHit
+	case !c.rowAvailable(bk, rank, now):
+		outcome = rowEmpty
+	default:
+		outcome = rowMiss
+	}
+
+	casIssue := maxTime(now, bk.casReadyAt)
+	var act sim.Time
+	switch outcome {
+	case rowEmpty:
+		act = maxTime(maxTime(now, bk.actReadyAt), c.rankActConstraint(rank))
+		act = c.refreshAdjust(rank, act)
+		casIssue = maxTime(casIssue, act+c.t.RCD)
+	case rowMiss:
+		pre := maxTime(now, bk.preReadyAt)
+		act = maxTime(pre+c.t.RP, c.rankActConstraint(rank))
+		act = c.refreshAdjust(rank, act)
+		casIssue = maxTime(casIssue, act+c.t.RCD)
+	default:
+		casIssue = c.refreshAdjust(rank, casIssue)
+	}
+
+	// Bus constraint with direction-turnaround penalty.
+	busReady := c.busFreeAt
+	if c.haveDir && c.lastIsW != isWrite {
+		if isWrite {
+			busReady += c.t.RTW
+		} else {
+			busReady += c.t.WTR
+		}
+	}
+	dataStart := maxTime(casIssue+c.t.CL, busReady)
+	if dataStart < now {
+		dataStart = now
+	}
+	dataEnd := dataStart + c.t.Burst
+	casIssue = dataStart - c.t.CL
+
+	// Commit device state.
+	if outcome != rowHit {
+		c.recordActivate(rank, act)
+		bk.actAt = act
+		bk.openRow = loc.Row
+	}
+	bk.casReadyAt = casIssue + c.t.CCD
+	if isWrite {
+		bk.preReadyAt = maxTime(bk.actAt+c.t.RAS, dataEnd+c.t.WR)
+	} else {
+		bk.preReadyAt = maxTime(bk.actAt+c.t.RAS, casIssue+c.t.RTP)
+	}
+	bk.actReadyAt = bk.preReadyAt + c.t.RP
+	bk.lastTouch = dataEnd
+	c.busFreeAt = dataEnd
+	c.lastIsW = isWrite
+	c.haveDir = true
+	c.lastCASBank = rank*c.cfg.Banks + loc.Bank
+
+	c.rowStats.add(outcome)
+	c.counters.Add(cr.req.Op, cr.req.Bytes())
+
+	done := cr.req.Done
+	if isWrite {
+		if done != nil {
+			c.eng.Schedule(dataEnd, func() { done(dataEnd) })
+		}
+		return
+	}
+	completion := dataEnd + c.cfg.CtrlLatency
+	c.readLatSum += completion - cr.at
+	c.readLatN++
+	if done != nil {
+		c.eng.Schedule(completion, func() { done(completion) })
+	}
+}
+
+// rankActConstraint reports the earliest time a new ACT may issue in the
+// rank, honouring tRRD and tFAW. Refresh windows are applied separately via
+// refreshAdjust.
+func (c *channel) rankActConstraint(rank int) sim.Time {
+	earliest := c.lastAct[rank] + c.t.RRD
+	if h := c.actHist[rank]; len(h) == 4 {
+		if t := h[0] + c.t.FAW; t > earliest {
+			earliest = t
+		}
+	}
+	return earliest
+}
+
+func (c *channel) recordActivate(rank int, at sim.Time) {
+	c.lastAct[rank] = at
+	h := c.actHist[rank]
+	if len(h) == 4 {
+		copy(h, h[1:])
+		h[3] = at
+	} else {
+		c.actHist[rank] = append(h, at)
+	}
+}
+
+func (c *channel) queued() int { return len(c.readQ) + len(c.writeQ) }
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package dram
+
+import (
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// System is a complete multi-channel memory system. It implements
+// mem.Backend: requests are mapped to a channel and scheduled there.
+type System struct {
+	eng    *sim.Engine
+	cfg    Config
+	mapper Mapper
+	chans  []*channel
+}
+
+// New builds a memory system on the given engine. It panics on an invalid
+// configuration (configurations are code, not user input).
+func New(eng *sim.Engine, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{eng: eng, cfg: cfg, mapper: NewMapper(&cfg)}
+	s.chans = make([]*channel, cfg.Channels)
+	for i := range s.chans {
+		s.chans[i] = newChannel(eng, &s.cfg, i)
+	}
+	return s
+}
+
+// Config reports the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// PeakBandwidthGBs reports the theoretical maximum bandwidth.
+func (s *System) PeakBandwidthGBs() float64 { return s.cfg.PeakBandwidthGBs() }
+
+// Access submits one transaction. The request's Done callback fires at data
+// return for reads, or at controller acceptance for (posted) writes.
+func (s *System) Access(req *mem.Request) {
+	loc := s.mapper.Map(req.Addr)
+	s.chans[loc.Channel].enqueue(req, loc)
+}
+
+// Counters reports accumulated system-wide traffic counters, the model
+// equivalent of the uncore bandwidth counters the Mess benchmark samples.
+func (s *System) Counters() mem.Counters {
+	var total mem.Counters
+	for _, c := range s.chans {
+		total.Merge(c.counters)
+	}
+	return total
+}
+
+// RowStats reports accumulated row-buffer hit/empty/miss statistics.
+func (s *System) RowStats() RowStats {
+	var total RowStats
+	for _, c := range s.chans {
+		total.Hits += c.rowStats.Hits
+		total.Empties += c.rowStats.Empties
+		total.Misses += c.rowStats.Misses
+	}
+	return total
+}
+
+// Queued reports the number of requests currently waiting in controller
+// queues, for back-pressure diagnostics.
+func (s *System) Queued() int {
+	n := 0
+	for _, c := range s.chans {
+		n += c.queued()
+	}
+	return n
+}
+
+// ObservedReadLatency reports the mean controller-level read latency.
+func (s *System) ObservedReadLatency() (sim.Time, uint64) {
+	var sum sim.Time
+	var n uint64
+	for _, c := range s.chans {
+		sum += c.readLatSum
+		n += c.readLatN
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / sim.Time(n), n
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("%s ×%d channels (peak %.1f GB/s)", s.cfg.Name, s.cfg.Channels, s.PeakBandwidthGBs())
+}
+
+var _ mem.Backend = (*System)(nil)
+var _ mem.LatencyObserver = (*System)(nil)

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/cxl"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/messsim"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/workloads"
+)
+
+// Fig. 14 and Appendix B (Figs. 17–18): CXL memory expanders.
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Paper: "Fig. 14",
+		Title: "CXL expander curves: manufacturer model vs Mess in OpenPiton/gem5/ZSim",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Paper: "Fig. 17",
+		Title: "Remote-socket emulation of CXL: perlbench and lbm operating points",
+		Run:   runFig17,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Paper: "Fig. 18",
+		Title: "Remote-socket vs CXL performance across the SPEC-like suite",
+		Run:   runFig18,
+	})
+}
+
+func cxlSweep(s Scale) cxl.SweepOptions {
+	if s == Quick {
+		return cxl.SweepOptions{
+			WriteFractions: []float64{0, 0.5, 1.0},
+			RatesGBs:       []float64{2, 8, 16, 24, 32, 40, 48},
+			Warmup:         8 * sim.Microsecond,
+			Measure:        24 * sim.Microsecond,
+		}
+	}
+	return cxl.SweepOptions{}
+}
+
+var (
+	cxlFamOnce  = map[Scale]*core.Family{}
+	remoteOnce  = map[Scale]*core.Family{}
+	cxlFamMutex = make(chan struct{}, 1)
+)
+
+func cxlFamily(s Scale) *core.Family {
+	cxlFamMutex <- struct{}{}
+	defer func() { <-cxlFamMutex }()
+	if f, ok := cxlFamOnce[s]; ok {
+		return f
+	}
+	f := cxl.Family(cxlSweep(s))
+	cxlFamOnce[s] = f
+	return f
+}
+
+func remoteFamily(s Scale) *core.Family {
+	cxlFamMutex <- struct{}{}
+	defer func() { <-cxlFamMutex }()
+	if f, ok := remoteOnce[s]; ok {
+		return f
+	}
+	f := cxl.RemoteSocketFamily(cxlSweep(s))
+	remoteOnce[s] = f
+	return f
+}
+
+func runFig14(s Scale) (*Result, error) {
+	manufacturer := cxlFamily(s)
+
+	r := &Result{
+		ID: "fig14", Paper: "Fig. 14",
+		Title:  "CXL memory expander: manufacturer's model vs Mess-integrated CPU simulators",
+		Header: []string{"integration", "max BW [GB/s]", "max latency [ns]"},
+	}
+	r.Families = append(r.Families, manufacturer)
+	mm := manufacturer.Metrics()
+	r.Rows = append(r.Rows, []string{"Manufacturer device model",
+		fmt.Sprintf("%.1f", mm.SatBWHighGBs), fmt.Sprintf("%.0f", mm.MaxLatencyMaxNs)})
+
+	hosts := []platform.Spec{
+		platform.OpenPitonAriane(),
+		scaleSpec(platform.Gem5Graviton3(), s),
+		scaleSpec(platform.ZSimSkylake(), s),
+	}
+	for _, host := range hosts {
+		host := host
+		opt := benchOptions(s)
+		opt.Backend = func(eng *sim.Engine) mem.Backend {
+			return messsim.New(eng, messsim.Config{
+				Family:       manufacturer,
+				CPULatencyNs: host.OnChipLatency.Nanoseconds(),
+			})
+		}
+		res, err := bench.Run(host, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Family.Label = host.Name + " + Mess (CXL curves)"
+		res.Family.TheoreticalBW = manufacturer.TheoreticalBW
+		m := res.Family.Metrics()
+		r.Families = append(r.Families, res.Family)
+		r.Rows = append(r.Rows, []string{res.Family.Label,
+			fmt.Sprintf("%.1f", m.SatBWHighGBs), fmt.Sprintf("%.0f", m.MaxLatencyMaxNs)})
+	}
+	r.Notes = append(r.Notes,
+		"CXL is full-duplex: balanced read/write mixes reach the highest bandwidth; 100%-read or 100%-write saturates one link direction early — the inverse of DDR (Sec. V-C).",
+		"The OpenPiton Ariane host (2-entry MSHRs, in-order) cannot saturate the device, so its maximum latency stays below the manufacturer curves, as in the paper.")
+	return r, nil
+}
+
+// runCXLvsRemote executes one SPEC-like benchmark against the Mess
+// simulator loaded with the CXL curves and the remote-socket curves and
+// reports both IPCs plus the benchmark's bandwidth utilization.
+func runCXLvsRemote(b workloads.SpecBenchmark, host platform.Spec, s Scale) (cxlIPC, remIPC, util float64, err error) {
+	families := []*core.Family{cxlFamily(s), remoteFamily(s)}
+	ipcs := make([]float64, 2)
+	var bw float64
+	for i, fam := range families {
+		fam := fam
+		o := workloads.Options{
+			LLCHitRate: b.LLCHitRate,
+			Backend: func(eng *sim.Engine) mem.Backend {
+				return messsim.New(eng, messsim.Config{
+					Family:       fam,
+					CPULatencyNs: host.OnChipLatency.Nanoseconds(),
+				})
+			},
+		}
+		if s == Quick {
+			o.Warmup = 5 * sim.Microsecond
+			o.Measure = 20 * sim.Microsecond
+		}
+		res, rerr := workloads.Run(host, b.Kernel, o)
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		ipcs[i] = res.IPC
+		if i == 0 {
+			bw = res.MemBWGBs
+		}
+	}
+	util = bw / cxlFamily(s).TheoreticalBW
+	return ipcs[0], ipcs[1], util, nil
+}
+
+func runFig17(s Scale) (*Result, error) {
+	host := scaleSpec(platform.ZSimSkylake(), s)
+	suite := workloads.SpecSuite()
+	var perl, lbm *workloads.SpecBenchmark
+	for i := range suite {
+		switch suite[i].Name {
+		case "perlbench":
+			perl = &suite[i]
+		case "lbm":
+			lbm = &suite[i]
+		}
+	}
+	r := &Result{
+		ID: "fig17", Paper: "Fig. 17",
+		Title:  "CXL vs remote-socket emulation: characteristic benchmarks",
+		Header: []string{"benchmark", "CXL IPC", "remote IPC", "Δ", "BW util of CXL max"},
+	}
+	r.Families = append(r.Families, cxlFamily(s), remoteFamily(s))
+	for _, b := range []*workloads.SpecBenchmark{perl, lbm} {
+		cxlIPC, remIPC, util, err := runCXLvsRemote(*b, host, s)
+		if err != nil {
+			return nil, err
+		}
+		delta := (remIPC - cxlIPC) / cxlIPC
+		r.Rows = append(r.Rows, []string{b.Name,
+			fmt.Sprintf("%.3f", cxlIPC), fmt.Sprintf("%.3f", remIPC),
+			fmt.Sprintf("%+.1f%%", 100*delta), pct(util)})
+	}
+	r.Notes = append(r.Notes,
+		"Low-bandwidth perlbench pays the remote socket's ≈28 ns extra unloaded latency; bandwidth-hungry lbm gains from the remote socket's higher saturated bandwidth (Appendix B).")
+	return r, nil
+}
+
+func runFig18(s Scale) (*Result, error) {
+	host := scaleSpec(platform.ZSimSkylake(), s)
+	suite := workloads.SpecSuite()
+	if s == Quick {
+		// A representative subset spanning the utilization range.
+		keep := map[string]bool{
+			"namd": true, "perlbench": true, "astar": true, "dealII": true,
+			"hmmer": true, "zeusmp": true, "soplex": true, "milc": true,
+			"libquantum": true, "leslie3d": true, "lbm": true,
+		}
+		var sub []workloads.SpecBenchmark
+		for _, b := range suite {
+			if keep[b.Name] {
+				sub = append(sub, b)
+			}
+		}
+		suite = sub
+	}
+
+	type row struct {
+		name  string
+		delta float64
+		util  float64
+	}
+	rows := make([]row, 0, len(suite))
+	for _, b := range suite {
+		cxlIPC, remIPC, util, err := runCXLvsRemote(b, host, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{b.Name, (remIPC - cxlIPC) / cxlIPC, util})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].util < rows[j].util })
+
+	r := &Result{
+		ID: "fig18", Paper: "Fig. 18",
+		Title:   "Remote-socket emulation vs target CXL system, sorted by bandwidth utilization",
+		Header:  []string{"benchmark", "BW utilization", "performance difference"},
+		BarUnit: "%+.1f%%",
+	}
+	for _, rw := range rows {
+		r.Rows = append(r.Rows, []string{rw.name, pct(rw.util), fmt.Sprintf("%+.1f%%", 100*rw.delta)})
+		r.Bars = append(r.Bars, Bar{Label: rw.name, Value: 100 * rw.delta})
+	}
+	r.Notes = append(r.Notes,
+		"Paper shape: up to ≈12% slower for low-bandwidth benchmarks, crossover in the 30–50% utilization band, 11–22% faster for bandwidth-hungry ones (Fig. 18).")
+	return r, nil
+}

@@ -1,0 +1,214 @@
+// Package exp is the reproduction harness: one registered experiment per
+// table and figure of the paper's evaluation. Each experiment runs at two
+// scales — Quick (reduced sweeps and scaled-down platforms, for tests and
+// benchmarks) and Full (the paper's configurations, for the CLI tools) —
+// and produces a structured Result that renders as tables, ASCII figures
+// and notes.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/plot"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// Scale selects experiment fidelity.
+type Scale int
+
+const (
+	// Quick shrinks sweeps and large platforms so the whole registry runs
+	// in minutes; curve *shapes* and orderings are preserved.
+	Quick Scale = iota
+	// Full uses the paper's platform sizes and dense sweeps.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Bar is one labelled value of a bar-chart result.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Result is the structured outcome of an experiment.
+type Result struct {
+	ID       string
+	Title    string
+	Paper    string
+	Families []*core.Family
+	Header   []string
+	Rows     [][]string
+	Bars     []Bar
+	BarUnit  string // format for bar values, e.g. "%.1f%%"
+	Notes    []string
+}
+
+// Render writes the result as text: tables, curve plots, bars and notes.
+func (r *Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== %s (%s) — %s ==\n\n", r.ID, r.Paper, r.Title)
+	if len(r.Header) > 0 {
+		if err := plot.Table(w, r.Header, r.Rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, f := range r.Families {
+		if err := plot.CurveFamily(w, f, 72, 20); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Bars) > 0 {
+		labels := make([]string, len(r.Bars))
+		values := make([]float64, len(r.Bars))
+		for i, b := range r.Bars {
+			labels[i], values[i] = b.Label, b.Value
+		}
+		unit := r.BarUnit
+		if unit == "" {
+			unit = "%.2f"
+		}
+		if err := plot.Bars(w, r.Title, labels, values, unit, 44); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	return nil
+}
+
+// Experiment is a registered reproduction target.
+type Experiment struct {
+	ID    string
+	Paper string // the table/figure it reproduces
+	Title string
+	Run   func(s Scale) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in registration order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// scaleSpec shrinks a platform for Quick runs: cores and memory channels
+// divided by the same factor, preserving the concurrency-to-bandwidth
+// balance that determines the curve shape.
+func scaleSpec(spec platform.Spec, s Scale) platform.Spec {
+	if s == Full {
+		return spec
+	}
+	factor := 1
+	switch {
+	case spec.Cores >= 96:
+		factor = 8
+	case spec.Cores >= 48:
+		factor = 4
+	case spec.Cores >= 16:
+		factor = 2
+	}
+	if factor == 1 {
+		return spec
+	}
+	out := spec
+	out.Cores = spec.Cores / factor
+	out.DRAM.Channels = spec.DRAM.Channels / factor
+	if out.DRAM.Channels < 1 {
+		out.DRAM.Channels = 1
+	}
+	if out.Cores < 2 {
+		out.Cores = 2
+	}
+	out.Name = spec.Name + " (scaled)"
+	return out
+}
+
+// benchOptions returns the sweep settings per scale.
+func benchOptions(s Scale) bench.Options {
+	if s == Quick {
+		return bench.Options{
+			Mixes:   []bench.Mix{{StorePercent: 0}, {StorePercent: 40}, {StorePercent: 100}},
+			PacesNs: []float64{0, 2, 6, 16, 48, 128, 384},
+			Warmup:  6 * sim.Microsecond,
+			Measure: 18 * sim.Microsecond,
+		}
+	}
+	var mixes []bench.Mix
+	for p := 0; p <= 100; p += 10 {
+		mixes = append(mixes, bench.Mix{StorePercent: p})
+	}
+	// Streaming-store kernels cover the write-heavy half of the space.
+	for _, p := range []int{40, 70, 100} {
+		mixes = append(mixes, bench.Mix{StorePercent: p, NonTemporal: true})
+	}
+	return bench.Options{
+		Mixes:   mixes,
+		PacesNs: []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768},
+		Warmup:  20 * sim.Microsecond,
+		Measure: 50 * sim.Microsecond,
+	}
+}
+
+// famKey caches measured reference families, which several experiments
+// share (Figs. 10–13 all need the platform's measured curves).
+type famKey struct {
+	name  string
+	scale Scale
+}
+
+var (
+	famMu    sync.Mutex
+	famCache = map[famKey]*core.Family{}
+)
+
+// referenceFamily measures (or returns cached) curves of the platform's
+// detailed DRAM model — the stand-in for "measured on actual hardware".
+func referenceFamily(spec platform.Spec, s Scale) (*core.Family, error) {
+	key := famKey{spec.Name, s}
+	famMu.Lock()
+	if f, ok := famCache[key]; ok {
+		famMu.Unlock()
+		return f, nil
+	}
+	famMu.Unlock()
+	res, err := bench.Run(spec, benchOptions(s))
+	if err != nil {
+		return nil, err
+	}
+	famMu.Lock()
+	famCache[key] = res.Family
+	famMu.Unlock()
+	return res.Family, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }

@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/memmodel"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/workloads"
+)
+
+// Figs. 10–13: the Mess analytical simulator integrated under the ZSim-like
+// and gem5-like CPU configurations: curve agreement and IPC error.
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Paper: "Fig. 10",
+		Title: "ZSim+Mess bandwidth–latency curves (DDR4, DDR5, HBM2)",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Paper: "Fig. 11",
+		Title: "ZSim memory-model IPC error vs reference (STREAM, LMbench, multichase)",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Paper: "Fig. 12",
+		Title: "gem5+Mess bandwidth–latency curves (single-channel DDR5 and HBM2)",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Paper: "Fig. 13",
+		Title: "gem5 memory-model IPC error vs reference",
+		Run:   runFig13,
+	})
+}
+
+// messFamily runs the Mess benchmark with the Mess analytical simulator as
+// the backend, fed with the platform's measured reference curves.
+func messFamily(spec platform.Spec, ref *core.Family, s Scale) (*core.Family, error) {
+	opt := benchOptions(s)
+	opt.Backend = func(eng *sim.Engine) mem.Backend {
+		m, err := memmodel.New(memmodel.KindMess, eng, spec, ref)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	res, err := bench.Run(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Family.Label = spec.Name + " + Mess simulator"
+	return res.Family, nil
+}
+
+// familyAgreement quantifies how closely a simulated family matches the
+// reference: mean relative latency error sampled across each curve's
+// common bandwidth domain.
+func familyAgreement(ref, got *core.Family) float64 {
+	var errSum float64
+	var n int
+	for _, rc := range ref.Curves {
+		gc := got.Nearest(rc.ReadRatio)
+		if gc == nil {
+			continue
+		}
+		maxBW := math.Min(rc.MaxBW(), gc.MaxBW())
+		for f := 0.1; f <= 0.9; f += 0.1 {
+			bw := f * maxBW
+			a := rc.LatencyAt(bw)
+			b := gc.LatencyAt(bw)
+			if a > 0 {
+				errSum += math.Abs(b-a) / a
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return errSum / float64(n)
+}
+
+func runFig10(s Scale) (*Result, error) {
+	variants := []platform.Spec{scaleSpec(platform.ZSimSkylake(), s)}
+	if s == Full {
+		// The paper's DDR5 (58 cores) and HBM2 (192 cores) ZSim scale-ups.
+		ddr5 := platform.ZSimSkylake()
+		ddr5.Name = "ZSim 58 cores, 8×DDR5-4800"
+		ddr5.Cores = 58
+		ddr5.DRAM = dram.DDR5(4800, 8, 2)
+		ddr5.DRAM.CtrlLatency = sim.FromNanoseconds(8)
+		ddr5.DRAM.IdleClose = 250 * sim.Nanosecond
+		hbm := platform.ZSimSkylake()
+		hbm.Name = "ZSim 192 cores, 32×HBM2"
+		hbm.Cores = 192
+		hbm.DRAM = dram.HBM2(32)
+		hbm.DRAM.CtrlLatency = sim.FromNanoseconds(6)
+		hbm.DRAM.IdleClose = 250 * sim.Nanosecond
+		variants = append(variants, ddr5, hbm)
+	}
+
+	r := &Result{
+		ID: "fig10", Paper: "Fig. 10",
+		Title:  "ZSim + Mess simulator vs actual curves",
+		Header: []string{"memory system", "curve agreement (mean rel. latency error)"},
+	}
+	for _, spec := range variants {
+		ref, err := referenceFamily(spec, s)
+		if err != nil {
+			return nil, err
+		}
+		got, err := messFamily(spec, ref, s)
+		if err != nil {
+			return nil, err
+		}
+		agree := familyAgreement(ref, got)
+		r.Families = append(r.Families, got)
+		r.Rows = append(r.Rows, []string{spec.Name, fmt.Sprintf("%.1f%%", 100*agree)})
+	}
+	r.Notes = append(r.Notes,
+		"The paper reports <1% unloaded-latency error, ≈3% maximum-latency error and 2% saturated-range error for ZSim+Mess (Sec. V-B.1).")
+	return r, nil
+}
+
+// ipcErrors runs the evaluation suite on the reference and each model and
+// reports the per-benchmark absolute IPC error plus averages.
+func ipcErrors(spec platform.Spec, kinds []memmodel.Kind, s Scale) (*Result, error) {
+	wopt := workloads.Options{}
+	if s == Quick {
+		wopt.Warmup = 5 * sim.Microsecond
+		wopt.Measure = 20 * sim.Microsecond
+	}
+	ref, err := referenceFamily(spec, s)
+	if err != nil {
+		return nil, err
+	}
+	refResults, err := workloads.EvalSuite(spec, wopt)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		Header: []string{"model"},
+	}
+	for _, b := range refResults {
+		r.Header = append(r.Header, b.Name)
+	}
+	r.Header = append(r.Header, "average")
+
+	for _, kind := range kinds {
+		kind := kind
+		o := wopt
+		o.Backend = func(eng *sim.Engine) mem.Backend {
+			m, err := memmodel.New(kind, eng, spec, ref)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+		got, err := workloads.EvalSuite(spec, o)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{string(kind)}
+		var sum float64
+		for i := range refResults {
+			e := math.Abs(got[i].IPC-refResults[i].IPC) / refResults[i].IPC
+			sum += e
+			row = append(row, fmt.Sprintf("%.1f%%", 100*e))
+		}
+		avg := sum / float64(len(refResults))
+		row = append(row, fmt.Sprintf("%.1f%%", 100*avg))
+		r.Rows = append(r.Rows, row)
+		r.Bars = append(r.Bars, Bar{Label: string(kind), Value: 100 * avg})
+	}
+	r.BarUnit = "%.1f%%"
+	return r, nil
+}
+
+func runFig11(s Scale) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), s)
+	kinds := []memmodel.Kind{
+		memmodel.KindFixed, memmodel.KindMD1, memmodel.KindInternalDDR,
+		memmodel.KindDRAMsim3, memmodel.KindRamulator, memmodel.KindMess,
+	}
+	r, err := ipcErrors(spec, kinds, s)
+	if err != nil {
+		return nil, err
+	}
+	r.ID, r.Paper = "fig11", "Fig. 11"
+	r.Title = "ZSim memory-model IPC error (absolute, vs reference platform)"
+	r.Notes = append(r.Notes,
+		"Paper: Mess averages 1.3%; M/D/1 and internal DDR follow; fixed-latency and Ramulator exceed 80% (Fig. 11). The ordering, not the absolute values, is the reproduction target.")
+	return r, nil
+}
+
+func runFig12(s Scale) (*Result, error) {
+	// 16 cores on a single DDR5-4800 channel / single HBM2 channel.
+	// The gem5 Neoverse cores have moderate memory-level parallelism; with
+	// a single channel, CPU-class MSHR depths would pin the system so deep
+	// into saturation that the curves degenerate to their last point.
+	ddr5 := platform.Gem5Graviton3()
+	ddr5.Name = "gem5 16 cores, 1×DDR5-4800"
+	ddr5.Cores = 16
+	ddr5.MSHRs = 6
+	ddr5.WriteBufs = 8
+	ddr5.DRAM = dram.DDR5(4800, 1, 2)
+	ddr5.DRAM.CtrlLatency = sim.FromNanoseconds(8)
+	ddr5.DRAM.IdleClose = 250 * sim.Nanosecond
+
+	hbm := platform.Gem5Graviton3()
+	hbm.Name = "gem5 16 cores, 1×HBM2 channel"
+	hbm.Cores = 16
+	hbm.MSHRs = 6
+	hbm.WriteBufs = 8
+	hbm.DRAM = dram.HBM2(1)
+	hbm.DRAM.CtrlLatency = sim.FromNanoseconds(6)
+	hbm.DRAM.IdleClose = 250 * sim.Nanosecond
+
+	r := &Result{
+		ID: "fig12", Paper: "Fig. 12",
+		Title:  "gem5 + Mess simulator, single-channel configurations",
+		Header: []string{"memory system", "curve agreement (mean rel. latency error)"},
+	}
+	for _, spec := range []platform.Spec{ddr5, hbm} {
+		ref, err := referenceFamily(spec, s)
+		if err != nil {
+			return nil, err
+		}
+		got, err := messFamily(spec, ref, s)
+		if err != nil {
+			return nil, err
+		}
+		r.Families = append(r.Families, got)
+		r.Rows = append(r.Rows, []string{spec.Name, fmt.Sprintf("%.1f%%", 100*familyAgreement(ref, got))})
+	}
+	r.Notes = append(r.Notes,
+		"The paper runs single-channel gem5 configurations because full-system cycle-accurate sweeps would take years; scaled to 8 channels the curves match the Graviton 3 measurements (Sec. V-B.2).")
+	return r, nil
+}
+
+func runFig13(s Scale) (*Result, error) {
+	spec := scaleSpec(platform.Gem5Graviton3(), s)
+	kinds := []memmodel.Kind{
+		memmodel.KindFixed, memmodel.KindInternalDDR,
+		memmodel.KindRamulator2, memmodel.KindMess,
+	}
+	r, err := ipcErrors(spec, kinds, s)
+	if err != nil {
+		return nil, err
+	}
+	r.ID, r.Paper = "fig13", "Fig. 13"
+	r.Title = "gem5 memory-model IPC error (absolute, vs reference platform)"
+	r.Notes = append(r.Notes,
+		"Paper: simple memory 30%, internal DDR 15%, Ramulator 2 52%, Mess 3% (Fig. 13). The reproduction target is Mess lowest by a wide margin; the fixed model errs far more here than gem5's SimpleMemory, which throttles bandwidth internally.")
+	return r, nil
+}

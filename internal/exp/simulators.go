@@ -1,0 +1,292 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/memmodel"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/trace"
+)
+
+// Figs. 4–7: Mess characterization of CPU-simulator memory models and
+// trace-driven cycle-accurate simulators.
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Paper: "Fig. 4",
+		Title: "Graviton 3 vs gem5 memory models (simple, internal DDR, Ramulator 2)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Paper: "Fig. 5",
+		Title: "Skylake vs ZSim memory models (fixed, M/D/1, internal DDR, DRAMsim3, Ramulator)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Paper: "Fig. 6",
+		Title: "Trace-driven cycle-accurate simulators vs actual curves",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Paper: "Fig. 7",
+		Title: "Row-buffer hit/empty/miss: actual vs DRAMsim3 vs Ramulator",
+		Run:   runFig7,
+	})
+}
+
+// modelFamily runs the Mess benchmark over the given memory model under
+// the platform's unchanged CPU side.
+func modelFamily(spec platform.Spec, kind memmodel.Kind, s Scale) (*core.Family, error) {
+	opt := benchOptions(s)
+	opt.Backend = func(eng *sim.Engine) mem.Backend {
+		m, err := memmodel.New(kind, eng, spec, nil)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	res, err := bench.Run(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Family.Label = spec.Name + " + " + string(kind)
+	return res.Family, nil
+}
+
+func runFig4(s Scale) (*Result, error) {
+	spec := scaleSpec(platform.Gem5Graviton3(), s)
+	actual, err := referenceFamily(spec, s)
+	if err != nil {
+		return nil, err
+	}
+	actual.Label = "Actual (reference model): " + spec.Name
+
+	r := &Result{
+		ID: "fig4", Paper: "Fig. 4",
+		Title:  "Graviton 3 server vs gem5 memory models",
+		Header: []string{"model", "unloaded [ns]", "max BW [GB/s]", "saturates?"},
+	}
+	r.Families = append(r.Families, actual)
+	addRow := func(f *core.Family) {
+		m := f.Metrics()
+		saturates := "yes"
+		if m.MaxLatencyMaxNs < 2*m.UnloadedLatencyNs {
+			saturates = "no"
+		}
+		r.Rows = append(r.Rows, []string{f.Label,
+			fmt.Sprintf("%.0f", m.UnloadedLatencyNs),
+			fmt.Sprintf("%.0f", m.SatBWHighGBs), saturates})
+	}
+	addRow(actual)
+	for _, kind := range []memmodel.Kind{memmodel.KindFixed, memmodel.KindInternalDDR, memmodel.KindRamulator2} {
+		f, err := modelFamily(spec, kind, s)
+		if err != nil {
+			return nil, err
+		}
+		r.Families = append(r.Families, f)
+		addRow(f)
+	}
+	r.Notes = append(r.Notes,
+		"Paper findings encoded/reproduced: unrealistically low model latencies; Ramulator 2's bandwidth wall below half the measured system bandwidth (Fig. 4d).")
+	return r, nil
+}
+
+func runFig5(s Scale) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), s)
+	actual, err := referenceFamily(spec, s)
+	if err != nil {
+		return nil, err
+	}
+	actual.Label = "Actual (reference model): " + spec.Name
+
+	r := &Result{
+		ID: "fig5", Paper: "Fig. 5",
+		Title:  "Skylake server vs ZSim memory models",
+		Header: []string{"model", "unloaded [ns]", "max BW [GB/s]", "max/theoretical"},
+	}
+	theor := spec.TheoreticalBandwidthGBs()
+	addRow := func(f *core.Family) {
+		m := f.Metrics()
+		r.Rows = append(r.Rows, []string{f.Label,
+			fmt.Sprintf("%.0f", m.UnloadedLatencyNs),
+			fmt.Sprintf("%.0f", m.SatBWHighGBs),
+			fmt.Sprintf("%.2f×", m.SatBWHighGBs/theor)})
+	}
+	r.Families = append(r.Families, actual)
+	addRow(actual)
+	kinds := []memmodel.Kind{
+		memmodel.KindFixed, memmodel.KindMD1, memmodel.KindInternalDDR,
+		memmodel.KindDRAMsim3, memmodel.KindRamulator,
+	}
+	for _, kind := range kinds {
+		f, err := modelFamily(spec, kind, s)
+		if err != nil {
+			return nil, err
+		}
+		r.Families = append(r.Families, f)
+		addRow(f)
+	}
+	r.Notes = append(r.Notes,
+		"Fixed-latency and Ramulator exceed the theoretical bandwidth (no bandwidth model); the internal DDR model under-estimates the saturated range; DRAMsim3 never saturates (Sec. IV-B).")
+	return r, nil
+}
+
+// runFig6 captures traces from the reference platform at each sweep point
+// and replays them into the standalone cycle-accurate replicas.
+func runFig6(s Scale) (*Result, error) {
+	skl := scaleSpec(platform.ZSimSkylake(), s)
+	g3 := scaleSpec(platform.Gem5Graviton3(), s)
+
+	r := &Result{
+		ID: "fig6", Paper: "Fig. 6",
+		Title:  "Trace-driven cycle-accurate simulators",
+		Header: []string{"simulator", "trace points", "max BW [GB/s]", "actual max BW [GB/s]"},
+	}
+
+	type target struct {
+		name string
+		spec platform.Spec
+		mk   func(eng *sim.Engine) mem.Backend
+	}
+	targets := []target{
+		{"Ramulator2 (trace-driven)", g3, func(eng *sim.Engine) mem.Backend { return memmodel.NewRamulator2Like(eng, g3) }},
+		{"DRAMsim3 (trace-driven)", skl, func(eng *sim.Engine) mem.Backend { return memmodel.NewDRAMsim3Like(eng, skl) }},
+		{"Ramulator (trace-driven)", skl, func(eng *sim.Engine) mem.Backend { return memmodel.NewRamulatorLike(eng, skl) }},
+	}
+
+	for _, tgt := range targets {
+		fam, actualMax, err := traceDrivenFamily(tgt.spec, tgt.mk, s)
+		if err != nil {
+			return nil, err
+		}
+		fam.Label = tgt.name
+		r.Families = append(r.Families, fam)
+		n := 0
+		for _, c := range fam.Curves {
+			n += len(c.Points)
+		}
+		r.Rows = append(r.Rows, []string{tgt.name, fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", fam.Metrics().SatBWHighGBs), fmt.Sprintf("%.0f", actualMax)})
+	}
+	r.Notes = append(r.Notes,
+		"Correct simulation would place every trace-driven point on the actual bandwidth–latency curves; the replicas land below them in latency and, for Ramulator 2, hit a bandwidth wall at less than half the actual maximum (Sec. IV-D).")
+	return r, nil
+}
+
+// traceDrivenFamily captures per-point traces on the reference platform and
+// replays each into a fresh standalone model instance.
+func traceDrivenFamily(spec platform.Spec, mk func(eng *sim.Engine) mem.Backend, s Scale) (*core.Family, float64, error) {
+	opt := benchOptions(s)
+	if s == Full {
+		// Trace capture is memory-hungry; thin the pacing ladder.
+		opt.PacesNs = []float64{0, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	actual, err := referenceFamily(spec, s)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	fam := &core.Family{
+		Label:         spec.Name,
+		TheoreticalBW: spec.TheoreticalBandwidthGBs(),
+	}
+	for _, mix := range opt.Mixes {
+		var pts []core.Point
+		var ratioSum float64
+		for i := len(opt.PacesNs) - 1; i >= 0; i-- { // ascending pressure
+			pace := opt.PacesNs[i]
+			tr, err := captureTrace(spec, opt, mix, pace)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(tr.Records) < 100 {
+				continue
+			}
+			eng := sim.New()
+			model := mk(eng)
+			rep := trace.Replay(eng, model, tr)
+			if rep.Reads == 0 {
+				continue
+			}
+			pts = append(pts, core.Point{BW: rep.BWGBs, Latency: rep.ReadLatNs})
+			ratioSum += rep.ReadRatio
+		}
+		pts = core.SanitizePoints(pts)
+		if len(pts) < 2 {
+			continue
+		}
+		fam.Curves = append(fam.Curves, core.Curve{ReadRatio: ratioSum / float64(len(pts)), Points: pts})
+	}
+	fam.Sort()
+	return fam, actual.Metrics().SatBWHighGBs, nil
+}
+
+// captureTrace runs one benchmark point on the reference platform with a
+// capturing wrapper around the memory system.
+func captureTrace(spec platform.Spec, opt bench.Options, mix bench.Mix, paceNs float64) (*trace.Trace, error) {
+	var cap *trace.Capture
+	o := opt
+	o.Mixes = []bench.Mix{mix}
+	o.PacesNs = []float64{paceNs}
+	o.Parallelism = 1
+	o.Backend = func(eng *sim.Engine) mem.Backend {
+		cap = trace.NewCapture(eng, dram.New(eng, spec.DRAM), 400000)
+		return cap
+	}
+	if _, err := bench.Run(spec, o); err != nil {
+		return nil, err
+	}
+	return &cap.T, nil
+}
+
+func runFig7(s Scale) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), s)
+	opt := benchOptions(s)
+	opt.Mixes = []bench.Mix{{StorePercent: 0}, {StorePercent: 100}}
+
+	r := &Result{
+		ID: "fig7", Paper: "Fig. 7",
+		Title:  "Row-buffer statistics under load: actual vs DRAMsim3 vs Ramulator",
+		Header: []string{"system", "traffic", "BW [GB/s]", "hit", "empty", "miss"},
+	}
+
+	run := func(name string, backend mem.BackendFactory) error {
+		o := opt
+		o.Backend = backend
+		res, err := bench.Run(spec, o)
+		if err != nil {
+			return err
+		}
+		for _, sm := range res.Samples {
+			traffic := "100% read"
+			if sm.Mix.StorePercent == 100 {
+				traffic = "50/50 read/write"
+			}
+			r.Rows = append(r.Rows, []string{name, traffic,
+				fmt.Sprintf("%.0f", sm.BWGBs),
+				pct(sm.RowHit), pct(sm.RowEmpty), pct(sm.RowMiss)})
+		}
+		return nil
+	}
+	if err := run("actual (reference)", nil); err != nil {
+		return nil, err
+	}
+	if err := run("DRAMsim3", func(eng *sim.Engine) mem.Backend { return memmodel.NewDRAMsim3Like(eng, spec) }); err != nil {
+		return nil, err
+	}
+	if err := run("Ramulator", func(eng *sim.Engine) mem.Backend { return memmodel.NewRamulatorLike(eng, spec) }); err != nil {
+		return nil, err
+	}
+	r.Notes = append(r.Notes,
+		"Actual hardware: hits decay as load and write share grow (84/13/3% → ≈35% hits). DRAMsim3 pins 84–93% hits regardless of load; Ramulator matches reads but stays too high for write-heavy mixes (Fig. 7).")
+	return r, nil
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/memmodel"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// Sec. V-B speed claims and the Sec. IV-C OpenPiton bug discovery.
+
+func init() {
+	register(Experiment{
+		ID:    "tablespeed",
+		Paper: "Sec. V-B",
+		Title: "Memory-model simulation speed relative to the fixed-latency model",
+		Run:   runTableSpeed,
+	})
+	register(Experiment{
+		ID:    "openpiton-bug",
+		Paper: "Sec. IV-C",
+		Title: "Coherency-bug detection: excess write traffic under pure-load kernels",
+		Run:   runOpenPitonBug,
+	})
+}
+
+// runTableSpeed times identical simulated workloads through each model and
+// reports wall-clock ratios. The detailed reference model plays the role of
+// the cycle-accurate simulators in the paper's 13–15× speed-up claim.
+func runTableSpeed(s Scale) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), s)
+	ref, err := referenceFamily(spec, s)
+	if err != nil {
+		return nil, err
+	}
+	opt := bench.Options{
+		Mixes:       []bench.Mix{{StorePercent: 40}},
+		PacesNs:     []float64{0, 8, 64},
+		Warmup:      5 * sim.Microsecond,
+		Measure:     25 * sim.Microsecond,
+		Parallelism: 1,
+	}
+	if s == Full {
+		opt.Measure = 100 * sim.Microsecond
+	}
+
+	kinds := []memmodel.Kind{
+		memmodel.KindFixed, memmodel.KindMess, memmodel.KindMD1,
+		memmodel.KindInternalDDR, memmodel.KindReference,
+	}
+	elapsed := map[memmodel.Kind]time.Duration{}
+	perOp := map[memmodel.Kind]float64{}
+	for _, kind := range kinds {
+		kind := kind
+		o := opt
+		o.Backend = func(eng *sim.Engine) mem.Backend {
+			m, err := memmodel.New(kind, eng, spec, ref)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+		start := time.Now()
+		res, err := bench.Run(spec, o)
+		if err != nil {
+			return nil, err
+		}
+		elapsed[kind] = time.Since(start)
+		// Models reach very different bandwidths in the same simulated
+		// window, so the fair speed metric is host time per simulated
+		// memory operation.
+		var ops float64
+		for _, smp := range res.Samples {
+			ops += smp.BWGBs * 1e9 * o.Measure.Seconds() / 64
+		}
+		if ops > 0 {
+			perOp[kind] = float64(elapsed[kind].Nanoseconds()) / ops
+		}
+	}
+
+	base := perOp[memmodel.KindFixed]
+	r := &Result{
+		ID: "tablespeed", Paper: "Sec. V-B",
+		Title:  "Simulation cost per simulated memory operation",
+		Header: []string{"model", "wall-clock", "host ns/op", "vs fixed-latency"},
+	}
+	for _, kind := range kinds {
+		r.Rows = append(r.Rows, []string{string(kind),
+			elapsed[kind].Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", perOp[kind]),
+			fmt.Sprintf("%.2f×", perOp[kind]/base)})
+	}
+	r.Notes = append(r.Notes,
+		"Paper: ZSim+Mess costs +26% over fixed latency and is 13–15× faster than ZSim+Ramulator/DRAMsim3; here the detailed reference model stands in for the cycle-accurate simulators.",
+		"Host time per simulated memory operation is the comparable metric: models reach very different bandwidths in the same simulated window.")
+	return r, nil
+}
+
+// runOpenPitonBug reproduces the Sec. IV-C discovery: holistic Mess
+// characterization exposes a coherency bug as write traffic that the
+// executed kernel mix cannot explain.
+func runOpenPitonBug(s Scale) (*Result, error) {
+	spec := platform.OpenPitonAriane()
+	opt := benchOptions(s)
+	opt.Mixes = []bench.Mix{{StorePercent: 0}, {StorePercent: 40}}
+	opt.PacesNs = []float64{0, 16, 128}
+
+	healthy, err := bench.Run(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	buggedCfg := spec.CacheConfig()
+	buggedCfg.EvictCleanAsDirty = true
+	optBug := opt
+	optBug.Cache = &buggedCfg
+	bugged, err := bench.Run(spec, optBug)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		ID: "openpiton-bug", Paper: "Sec. IV-C",
+		Title:  "OpenPiton coherency bug: measured write share of memory traffic",
+		Header: []string{"kernel mix", "pace [ns]", "healthy write share", "bugged write share"},
+	}
+	flagged := 0
+	for i := range healthy.Samples {
+		h, b := healthy.Samples[i], bugged.Samples[i]
+		expectWrite := 1 - h.RdRatio
+		gotWrite := 1 - b.RdRatio
+		if gotWrite > expectWrite+0.2 {
+			flagged++
+		}
+		r.Rows = append(r.Rows, []string{
+			h.Mix.String(), fmt.Sprintf("%.0f", h.PaceNs),
+			pct(1 - h.RdRatio), pct(1 - b.RdRatio)})
+	}
+	r.Rows = append(r.Rows, []string{"flagged points", fmt.Sprintf("%d/%d", flagged, len(healthy.Samples)), "", ""})
+	r.Notes = append(r.Notes,
+		"The bugged LLC evicts clean lines as writebacks, so even 100%-load kernels show ≈50% write traffic — the anomaly that led the paper's authors to the OpenPiton coherency bug.")
+	return r, nil
+}

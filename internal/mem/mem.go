@@ -1,0 +1,163 @@
+// Package mem defines the request, traffic-counter and backend types shared
+// by every memory model in the repository. It is the seam between the CPU
+// side (cores + cache hierarchy) and the memory side (detailed DRAM model,
+// the behavioural model zoo, the CXL expander and the Mess analytical
+// simulator).
+package mem
+
+import (
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// LineSize is the cache-line / memory-transaction size in bytes. Every
+// platform in the paper uses 64-byte lines.
+const LineSize = 64
+
+// Op distinguishes memory reads from memory writes at the controller
+// boundary. Note that these are memory-traffic operations, not CPU
+// instructions: with a write-allocate cache a store instruction becomes one
+// Read (the RFO fill) plus one Write (the eventual writeback).
+type Op uint8
+
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one memory transaction. Requests are issued asynchronously:
+// the backend calls Done exactly once when the transaction completes.
+// For reads, completion is data return; writes are posted and complete when
+// the controller accepts them into its write queue.
+type Request struct {
+	Addr   uint64
+	Op     Op
+	Size   int // bytes; 0 means LineSize
+	Issued sim.Time
+	Done   func(at sim.Time)
+	Src    int // requester (core) id, for accounting; -1 if unknown
+}
+
+// Bytes reports the transaction size, defaulting to LineSize.
+func (r *Request) Bytes() int {
+	if r.Size <= 0 {
+		return LineSize
+	}
+	return r.Size
+}
+
+// Backend is anything that can service memory requests: the detailed DRAM
+// system, a behavioural model from the zoo, the CXL expander model, or the
+// Mess analytical simulator.
+type Backend interface {
+	// Access submits a request at the current engine time. The backend
+	// must invoke req.Done exactly once, at a time ≥ now.
+	Access(req *Request)
+}
+
+// BackendFactory builds a backend on a specific engine; harnesses use it to
+// instantiate the memory model under test once per measurement point.
+type BackendFactory func(eng *sim.Engine) Backend
+
+// Counters mirrors the uncore bandwidth counters the Mess benchmark reads on
+// real hardware: bytes and transactions, split by direction.
+type Counters struct {
+	Reads      uint64
+	Writes     uint64
+	ReadBytes  uint64
+	WriteBytes uint64
+}
+
+// Add records one transaction.
+func (c *Counters) Add(op Op, bytes int) {
+	if op == Read {
+		c.Reads++
+		c.ReadBytes += uint64(bytes)
+	} else {
+		c.Writes++
+		c.WriteBytes += uint64(bytes)
+	}
+}
+
+// Merge accumulates other into c.
+func (c *Counters) Merge(other Counters) {
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.ReadBytes += other.ReadBytes
+	c.WriteBytes += other.WriteBytes
+}
+
+// Sub returns the element-wise difference c − prev, i.e. the traffic between
+// two counter snapshots.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Reads:      c.Reads - prev.Reads,
+		Writes:     c.Writes - prev.Writes,
+		ReadBytes:  c.ReadBytes - prev.ReadBytes,
+		WriteBytes: c.WriteBytes - prev.WriteBytes,
+	}
+}
+
+// TotalBytes reports read plus write traffic.
+func (c Counters) TotalBytes() uint64 { return c.ReadBytes + c.WriteBytes }
+
+// TotalOps reports the transaction count.
+func (c Counters) TotalOps() uint64 { return c.Reads + c.Writes }
+
+// BandwidthGBs reports the counter window as a bandwidth in GB/s
+// (10^9 bytes per second, the unit used throughout the paper).
+func (c Counters) BandwidthGBs(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.TotalBytes()) / elapsed.Seconds() / 1e9
+}
+
+// ReadRatio reports the fraction of memory traffic that is reads, in
+// [0,1]. An empty window reports 1 (the convention for unloaded systems:
+// the latency probe itself is pure reads).
+func (c Counters) ReadRatio() float64 {
+	total := c.TotalBytes()
+	if total == 0 {
+		return 1
+	}
+	return float64(c.ReadBytes) / float64(total)
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("reads=%d writes=%d readB=%d writeB=%d", c.Reads, c.Writes, c.ReadBytes, c.WriteBytes)
+}
+
+// CountingBackend wraps a Backend and maintains Counters for every request
+// that passes through, so that traffic accounting works uniformly across
+// backends that do not track their own statistics.
+type CountingBackend struct {
+	Inner Backend
+	C     Counters
+}
+
+// NewCounting wraps inner in a CountingBackend.
+func NewCounting(inner Backend) *CountingBackend { return &CountingBackend{Inner: inner} }
+
+// Access counts the request and forwards it.
+func (b *CountingBackend) Access(req *Request) {
+	b.C.Add(req.Op, req.Bytes())
+	b.Inner.Access(req)
+}
+
+// Snapshot returns the current counter values.
+func (b *CountingBackend) Snapshot() Counters { return b.C }
+
+// LatencyObserver is implemented by backends that can report the mean
+// service latency they have delivered; used by trace-driven evaluation.
+type LatencyObserver interface {
+	ObservedReadLatency() (mean sim.Time, samples uint64)
+}

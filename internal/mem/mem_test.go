@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+func TestCountersAddAndRatios(t *testing.T) {
+	var c Counters
+	c.Add(Read, 64)
+	c.Add(Read, 64)
+	c.Add(Write, 64)
+	if c.Reads != 2 || c.Writes != 1 {
+		t.Fatalf("counters %v", c)
+	}
+	if c.TotalBytes() != 192 || c.TotalOps() != 3 {
+		t.Fatalf("totals %v", c)
+	}
+	if r := c.ReadRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("read ratio %v", r)
+	}
+	var empty Counters
+	if empty.ReadRatio() != 1 {
+		t.Fatal("empty window convention: read ratio 1")
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	var c Counters
+	for i := 0; i < 1000; i++ {
+		c.Add(Read, 64)
+	}
+	// 64 kB in 1 µs = 64 GB/s.
+	if bw := c.BandwidthGBs(sim.Microsecond); bw < 63.9 || bw > 64.1 {
+		t.Fatalf("bandwidth %v GB/s, want 64", bw)
+	}
+	if c.BandwidthGBs(0) != 0 {
+		t.Fatal("zero window must report zero bandwidth")
+	}
+}
+
+func TestCountersSubMergeProperty(t *testing.T) {
+	// (a merged b).Sub(a) == b, and byte totals are conserved.
+	prop := func(r1, w1, r2, w2 uint16) bool {
+		mk := func(r, w uint16) Counters {
+			var c Counters
+			for i := 0; i < int(r%200); i++ {
+				c.Add(Read, 64)
+			}
+			for i := 0; i < int(w%200); i++ {
+				c.Add(Write, 64)
+			}
+			return c
+		}
+		a, b := mk(r1, w1), mk(r2, w2)
+		sum := a
+		sum.Merge(b)
+		diff := sum.Sub(a)
+		return diff == b && sum.TotalBytes() == a.TotalBytes()+b.TotalBytes()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestBytesDefault(t *testing.T) {
+	r := &Request{}
+	if r.Bytes() != LineSize {
+		t.Fatalf("default size %d, want %d", r.Bytes(), LineSize)
+	}
+	r.Size = 128
+	if r.Bytes() != 128 {
+		t.Fatalf("explicit size %d", r.Bytes())
+	}
+}
+
+// nullBackend completes nothing; counting must still record traffic.
+type nullBackend struct{ n int }
+
+func (b *nullBackend) Access(*Request) { b.n++ }
+
+func TestCountingBackendForwards(t *testing.T) {
+	inner := &nullBackend{}
+	cb := NewCounting(inner)
+	cb.Access(&Request{Op: Read})
+	cb.Access(&Request{Op: Write, Size: 128})
+	if inner.n != 2 {
+		t.Fatalf("forwarded %d requests", inner.n)
+	}
+	snap := cb.Snapshot()
+	if snap.ReadBytes != 64 || snap.WriteBytes != 128 {
+		t.Fatalf("counted %v", snap)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("op names")
+	}
+}

@@ -1,0 +1,259 @@
+package messsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+func family() *core.Family {
+	return core.NewSynthetic(core.SyntheticSpec{Label: "test", UnloadedNs: 90, PeakGBs: 128})
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (&Config{}).Validate(); err == nil {
+		t.Fatal("nil family accepted")
+	}
+	bad := Config{Family: family(), ConvFactor: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("conv factor > 1 accepted")
+	}
+}
+
+// drive keeps `depth` reads outstanding (a closed-loop requester, like a set
+// of cores with fixed total MSHRs) for the given duration and reports the
+// achieved bandwidth (GB/s) and mean latency (ns).
+func drive(eng *sim.Engine, b mem.Backend, depth int, writeFrac float64, dur sim.Time) (float64, float64) {
+	completed := 0
+	var latSum sim.Time
+	var rng uint64 = 0x1234567
+	var issue func()
+	issue = func() {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		op := mem.Read
+		if float64(rng%1000)/1000.0 < writeFrac {
+			op = mem.Write
+		}
+		start := eng.Now()
+		b.Access(&mem.Request{Addr: rng % (1 << 32), Op: op, Done: func(at sim.Time) {
+			completed++
+			latSum += at - start
+			if eng.Now() < dur {
+				issue()
+			}
+		}})
+	}
+	for i := 0; i < depth; i++ {
+		issue()
+	}
+	eng.RunUntil(dur)
+	if completed == 0 {
+		return 0, 0
+	}
+	bw := float64(completed*mem.LineSize) / dur.Seconds() / 1e9
+	return bw, (latSum / sim.Time(completed)).Nanoseconds()
+}
+
+func TestOperatingPointLandsOnCurve(t *testing.T) {
+	fam := family()
+	for _, tc := range []struct {
+		depth int
+		tol   float64
+	}{
+		// Moderate concurrency must sit on the curve. At extreme depth a
+		// closed-loop driver re-issues requests in bursts, and the bus-
+		// capacity server adds genuine queueing beyond the steady-state
+		// curve — the physical system does the same — so the tolerance
+		// widens.
+		{8, 0.15}, {32, 0.15}, {96, 0.20}, {256, 0.60},
+	} {
+		eng := sim.New()
+		s := New(eng, Config{Family: fam, WindowOps: 200})
+		bw, lat := drive(eng, s, tc.depth, 0, 3*sim.Millisecond)
+		if bw <= 0 {
+			t.Fatalf("depth %d: no traffic", tc.depth)
+		}
+		want := fam.LatencyAt(1.0, bw)
+		if math.Abs(lat-want)/want > tc.tol {
+			t.Errorf("depth %d: operating point (%.1f GB/s, %.1f ns) off curve (want %.1f ns ±%.0f%%)",
+				tc.depth, bw, lat, want, tc.tol*100)
+		}
+	}
+}
+
+func TestClosedLoopSelfConsistency(t *testing.T) {
+	// Little's law must tie the converged point together: with N requests
+	// outstanding, bw = N×64B / latency. Verify the controller found the
+	// fixed point of that equation on the curve.
+	fam := family()
+	eng := sim.New()
+	s := New(eng, Config{Family: fam, WindowOps: 200})
+	depth := 64
+	bw, lat := drive(eng, s, depth, 0, 3*sim.Millisecond)
+	littleBW := float64(depth) * mem.LineSize / (lat * 1e-9) / 1e9
+	if math.Abs(littleBW-bw)/bw > 0.1 {
+		t.Fatalf("Little's law violated: measured %.1f GB/s, N·64B/lat = %.1f GB/s", bw, littleBW)
+	}
+}
+
+func TestSaturationPushback(t *testing.T) {
+	// With absurd concurrency the controller must settle near the curve's
+	// maximum bandwidth, not beyond it: the steep extrapolation slope
+	// throttles the requester.
+	fam := family()
+	eng := sim.New()
+	s := New(eng, Config{Family: fam, WindowOps: 500})
+	bw, _ := drive(eng, s, 4096, 0, 5*sim.Millisecond)
+	maxBW := fam.MaxBWAt(1.0)
+	if bw > 1.1*maxBW {
+		t.Fatalf("simulated bandwidth %.1f GB/s exceeds curve maximum %.1f by >10%%", bw, maxBW)
+	}
+	if bw < 0.75*maxBW {
+		t.Fatalf("saturated bandwidth %.1f GB/s too far below curve maximum %.1f", bw, maxBW)
+	}
+}
+
+func TestWriteRatioSelectsCurve(t *testing.T) {
+	// A family where writes are much slower: 50/50 traffic must see higher
+	// latency than pure reads at the same moderate load.
+	fam := core.NewSynthetic(core.SyntheticSpec{
+		Label: "writes-hurt", UnloadedNs: 90, PeakGBs: 128,
+		UtilAtReadRatio1: 0.9, UtilAtReadRatio05: 0.55,
+	})
+	run := func(writeFrac float64) (float64, float64) {
+		eng := sim.New()
+		s := New(eng, Config{Family: fam, WindowOps: 200})
+		return drive(eng, s, 64, writeFrac, 3*sim.Millisecond)
+	}
+	bwR, latR := run(0)
+	bwW, latW := run(0.5)
+	if latW <= latR {
+		t.Fatalf("50%%-write latency %.1f ns not above pure-read %.1f ns", latW, latR)
+	}
+	if bwW >= bwR {
+		t.Fatalf("50%%-write bandwidth %.1f not below pure-read %.1f", bwW, bwR)
+	}
+}
+
+func TestPhaseChangeAdaptation(t *testing.T) {
+	// Drive lightly, then heavily: the controller must follow the phase
+	// change (the Fig. 9 scenario) within a handful of windows.
+	fam := family()
+	eng := sim.New()
+	s := New(eng, Config{Family: fam, WindowOps: 100})
+	bw1, lat1 := drive(eng, s, 4, 0, sim.Millisecond)
+	start2 := eng.Now()
+	// Continue driving harder from the current time.
+	completed := 0
+	var latSum sim.Time
+	var rng uint64 = 99
+	deadline := start2 + 2*sim.Millisecond
+	var issue func()
+	issue = func() {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		st := eng.Now()
+		s.Access(&mem.Request{Addr: rng % (1 << 32), Op: mem.Read, Done: func(at sim.Time) {
+			completed++
+			latSum += at - st
+			if eng.Now() < deadline {
+				issue()
+			}
+		}})
+	}
+	for i := 0; i < 200; i++ {
+		issue()
+	}
+	eng.RunUntil(deadline)
+	bw2 := float64(completed*mem.LineSize) / (2 * sim.Millisecond).Seconds() / 1e9
+	lat2 := (latSum / sim.Time(completed)).Nanoseconds()
+	if bw2 <= bw1*2 {
+		t.Fatalf("phase change did not raise bandwidth: %.1f → %.1f GB/s", bw1, bw2)
+	}
+	if lat2 <= lat1 {
+		t.Fatalf("heavy phase latency %.1f ns not above light phase %.1f ns", lat2, lat1)
+	}
+	want := fam.LatencyAt(1.0, bw2)
+	if math.Abs(lat2-want)/want > 0.2 {
+		t.Fatalf("post-change operating point (%.1f GB/s, %.1f ns) off curve (want %.1f ns)", bw2, lat2, want)
+	}
+}
+
+func TestCPULatencySubtraction(t *testing.T) {
+	fam := family()
+	eng := sim.New()
+	cpuNs := 40.0
+	s := New(eng, Config{Family: fam, CPULatencyNs: cpuNs, WindowOps: 100})
+	var lat sim.Time
+	st := eng.Now()
+	s.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at - st }})
+	eng.Run()
+	wantFull := fam.LatencyAt(1.0, 0.1)
+	got := lat.Nanoseconds()
+	if math.Abs(got-(wantFull-cpuNs)) > 1 {
+		t.Fatalf("memory-side latency = %.1f ns, want %.1f − %.1f", got, wantFull, cpuNs)
+	}
+}
+
+func TestMinLatencyFloor(t *testing.T) {
+	fam := family()
+	eng := sim.New()
+	s := New(eng, Config{Family: fam, CPULatencyNs: 10000, WindowOps: 100})
+	var lat sim.Time
+	st := eng.Now()
+	s.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at - st }})
+	eng.Run()
+	if lat.Nanoseconds() < 1.9 {
+		t.Fatalf("latency %v ns below the floor", lat.Nanoseconds())
+	}
+}
+
+func TestConvergenceProperty(t *testing.T) {
+	// For random synthetic families and random concurrency, the closed-
+	// loop operating point must land on the curve (within tolerance) —
+	// the controller's defining invariant.
+	prop := func(seed uint16) bool {
+		unloaded := 60 + float64(seed%100)
+		peak := 100 + float64(seed%300)
+		fam := core.NewSynthetic(core.SyntheticSpec{
+			Label: "prop", UnloadedNs: unloaded, PeakGBs: peak,
+		})
+		depth := 8 + int(seed%120)
+		eng := sim.New()
+		s := New(eng, Config{Family: fam, WindowOps: 200})
+		bw, lat := drive(eng, s, depth, 0, 2*sim.Millisecond)
+		if bw <= 0 {
+			return false
+		}
+		want := fam.LatencyAt(1.0, bw)
+		return math.Abs(lat-want)/want < 0.25
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	fam := family()
+	eng := sim.New()
+	s := New(eng, Config{Family: fam, WindowOps: 50})
+	drive(eng, s, 32, 0.3, sim.Millisecond)
+	st := s.Stats()
+	if st.Windows == 0 {
+		t.Fatal("no control windows executed")
+	}
+	if st.Adjustments == 0 {
+		t.Fatal("controller never adjusted despite a cold start")
+	}
+	if st.ReadRatio <= 0.5 || st.ReadRatio >= 0.9 {
+		t.Fatalf("window read ratio %.2f implausible for 30%% writes", st.ReadRatio)
+	}
+	if st.MessBWGBs <= 0 || st.LatencyNs <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}

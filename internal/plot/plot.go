@@ -1,0 +1,156 @@
+// Package plot renders bandwidth–latency curve families, bar charts and
+// tables as terminal-friendly ASCII, used by the CLI tools and the
+// experiment reports (the release's equivalent of the paper's figures).
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/mess-sim/mess/internal/core"
+)
+
+// glyphs assigned to curves in ratio order.
+var glyphs = []byte{'o', '+', 'x', '*', '#', '@', '%', '&', '=', '~', '^', '"'}
+
+// CurveFamily renders the family as a scatter chart: x = bandwidth,
+// y = latency, one glyph per curve (read ratio descending, like the
+// paper's shades of blue).
+func CurveFamily(w io.Writer, f *core.Family, width, height int) error {
+	bw := bufio.NewWriter(w)
+	if width < 30 {
+		width = 30
+	}
+	if height < 10 {
+		height = 10
+	}
+	maxBW := f.TheoreticalBW
+	maxLat := 0.0
+	for _, c := range f.Curves {
+		if m := c.MaxBW(); m > maxBW {
+			maxBW = m
+		}
+		if m := c.MaxLatency(); m > maxLat {
+			maxLat = m
+		}
+	}
+	if maxBW <= 0 || maxLat <= 0 {
+		return fmt.Errorf("plot: family %q has no drawable range", f.Label)
+	}
+	maxLat *= 1.05
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range f.Curves {
+		g := glyphs[ci%len(glyphs)]
+		for _, p := range c.Points {
+			x := int(p.BW / maxBW * float64(width-1))
+			y := height - 1 - int(p.Latency/maxLat*float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = g
+			}
+		}
+	}
+	// Theoretical-bandwidth marker.
+	if f.TheoreticalBW > 0 && f.TheoreticalBW <= maxBW {
+		x := int(f.TheoreticalBW / maxBW * float64(width-1))
+		for y := 0; y < height; y++ {
+			if grid[y][x] == ' ' {
+				grid[y][x] = '|'
+			}
+		}
+	}
+
+	fmt.Fprintf(bw, "%s — latency [ns] vs used bandwidth [GB/s]\n", f.Label)
+	fmt.Fprintf(bw, "max theoretical BW = %.1f GB/s (marked |)\n", f.TheoreticalBW)
+	for y, row := range grid {
+		label := "        "
+		if y == 0 {
+			label = fmt.Sprintf("%7.0f ", maxLat)
+		}
+		if y == height-1 {
+			label = fmt.Sprintf("%7.0f ", 0.0)
+		}
+		fmt.Fprintf(bw, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(bw, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(bw, "        0%sBW=%.0f\n", strings.Repeat(" ", width-12), maxBW)
+	for ci, c := range f.Curves {
+		fmt.Fprintf(bw, "  %c read ratio %.2f (max %.1f GB/s, unloaded %.0f ns)\n",
+			glyphs[ci%len(glyphs)], c.ReadRatio, c.MaxBW(), c.UnloadedLatency())
+	}
+	return bw.Flush()
+}
+
+// Bars renders a labelled horizontal bar chart for value maps such as the
+// IPC-error figures; values are formatted with format (e.g. "%.1f%%").
+func Bars(w io.Writer, title string, labels []string, values []float64, format string, width int) error {
+	bw := bufio.NewWriter(w)
+	if width < 20 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if math.Abs(v) > maxV {
+			maxV = math.Abs(v)
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	fmt.Fprintln(bw, title)
+	for i, v := range values {
+		n := int(math.Abs(v) / maxV * float64(width))
+		bar := strings.Repeat("#", n)
+		sign := ""
+		if v < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(bw, "  %-*s %s%s "+format+"\n", maxL, labels[i], sign, bar, v)
+	}
+	return bw.Flush()
+}
+
+// Table renders rows with aligned columns.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	bw := bufio.NewWriter(w)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			fmt.Fprintf(bw, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(bw)
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/mess-sim/mess/internal/core"
+)
+
+func TestCurveFamilyRenders(t *testing.T) {
+	f := core.NewSynthetic(core.SyntheticSpec{Label: "plot-test", PeakGBs: 128})
+	var buf bytes.Buffer
+	if err := CurveFamily(&buf, f, 60, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "plot-test") {
+		t.Fatal("missing label")
+	}
+	if !strings.Contains(out, "max theoretical BW = 128.0") {
+		t.Fatal("missing theoretical bandwidth annotation")
+	}
+	for _, glyph := range []string{"o", "+"} {
+		if !strings.Contains(out, glyph) {
+			t.Fatalf("missing curve glyph %q", glyph)
+		}
+	}
+	if strings.Count(out, "\n") < 18 {
+		t.Fatal("chart too short")
+	}
+	if !strings.Contains(out, "read ratio") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestCurveFamilyRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CurveFamily(&buf, &core.Family{Label: "empty"}, 40, 10); err == nil {
+		t.Fatal("empty family rendered without error")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	err := Bars(&buf, "IPC error", []string{"mess", "fixed"}, []float64{1.3, 87.0}, "%.1f%%", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mess") || !strings.Contains(out, "fixed") {
+		t.Fatal("missing labels")
+	}
+	messLine, fixedLine := "", ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "mess") {
+			messLine = line
+		}
+		if strings.Contains(line, "fixed") {
+			fixedLine = line
+		}
+	}
+	if strings.Count(fixedLine, "#") <= strings.Count(messLine, "#") {
+		t.Fatal("bar lengths do not reflect magnitudes")
+	}
+}
+
+func TestBarsNegative(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "delta", []string{"a", "b"}, []float64{-12, 22}, "%+.0f%%", 30); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-#") {
+		t.Fatal("negative bars not marked")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "23456"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	// All value columns start at the same offset.
+	h := strings.Index(lines[0], "value")
+	r2 := strings.Index(lines[3], "23456")
+	if h != r2 {
+		t.Fatalf("columns misaligned: header at %d, row at %d\n%s", h, r2, buf.String())
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events ran out of schedule order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	e := New()
+	var at Time = -1
+	e.Schedule(100, func() {
+		e.Schedule(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("past event fired at %d, want clamped to 100", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i*10, func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Fatalf("ran %d events until t=50, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 10 {
+		t.Fatalf("ran %d events total, want 10", count)
+	}
+}
+
+func TestAfterCascade(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) < 5 {
+			e.After(7, tick)
+		}
+	}
+	e.After(7, tick)
+	e.Run()
+	for i, at := range ticks {
+		if want := Time(7 * (i + 1)); at != want {
+			t.Fatalf("tick %d at %d, want %d", i, at, want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Nanosecond.Nanoseconds() != 1 {
+		t.Fatal("Nanosecond != 1 ns")
+	}
+	if Second.Seconds() != 1 {
+		t.Fatal("Second != 1 s")
+	}
+	if FromNanoseconds(3.5) != 3500*Picosecond {
+		t.Fatalf("FromNanoseconds(3.5) = %d", FromNanoseconds(3.5))
+	}
+}
+
+func TestFromNanosecondsRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		nsVal := float64(raw) / 16.0 // up to ~2.7e8 ns with sub-ns fractions
+		got := FromNanoseconds(nsVal).Nanoseconds()
+		diff := got - nsVal
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 0.001 // within a picosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsCounts(t *testing.T) {
+	e := New()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 17 {
+		t.Fatalf("Steps = %d, want 17", e.Steps())
+	}
+}

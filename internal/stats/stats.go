@@ -1,0 +1,116 @@
+// Package stats provides the small statistical helpers the measurement
+// pipeline uses: trimmed means for outlier-robust latency aggregation,
+// percentiles, and correlation (used to tie bandwidth decline to row-buffer
+// miss rates, Sec. III).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean reports the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev reports the population standard deviation.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// TrimmedMean drops the lowest and highest frac of samples before
+// averaging (the Mess post-processing removes measurement outliers the
+// same way). frac is clamped to [0, 0.45].
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.45 {
+		frac = 0.45
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cut := int(float64(len(sorted)) * frac)
+	kept := sorted[cut : len(sorted)-cut]
+	return Mean(kept)
+}
+
+// Percentile reports the p-th percentile (0..100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Correlation reports the Pearson correlation coefficient of two equal-
+// length series; 0 when undefined.
+func Correlation(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MeanAbsRelError reports mean(|got−want| / |want|) over paired series —
+// the IPC-error metric of Figs. 11 and 13.
+func MeanAbsRelError(got, want []float64) float64 {
+	n := len(got)
+	if n == 0 || n != len(want) {
+		return 0
+	}
+	sum := 0.0
+	for i := range got {
+		w := want[i]
+		if w == 0 {
+			continue
+		}
+		sum += math.Abs(got[i]-w) / math.Abs(w)
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input not zero")
+	}
+}
+
+func TestTrimmedMeanDropsOutliers(t *testing.T) {
+	xs := []float64{100, 101, 99, 100, 100, 5000, 0.001}
+	tm := TrimmedMean(xs, 0.2)
+	if tm < 99 || tm > 101 {
+		t.Fatalf("trimmed mean = %v, outliers not removed", tm)
+	}
+	if TrimmedMean(xs, -1) == 0 {
+		t.Fatal("negative frac mishandled")
+	}
+}
+
+func TestTrimmedMeanBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16, fracRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			min = math.Min(min, xs[i])
+			max = math.Max(max, xs[i])
+		}
+		tm := TrimmedMean(xs, float64(fracRaw%50)/100)
+		return tm >= min-1e-9 && tm <= max+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := map[float64]float64{0: 1, 50: 5, 90: 9, 100: 10}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%.0f = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(xs, ys); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if c := Correlation(xs, flat); c != 0 {
+		t.Fatalf("undefined correlation = %v, want 0", c)
+	}
+	if Correlation(xs, xs[:2]) != 0 {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestCorrelationBoundsProperty(t *testing.T) {
+	prop := func(a, b []uint8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n < 2 {
+			return true
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i], ys[i] = float64(a[i]), float64(b[i])
+		}
+		c := Correlation(xs, ys)
+		return c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAbsRelError(t *testing.T) {
+	got := []float64{110, 90}
+	want := []float64{100, 100}
+	if e := MeanAbsRelError(got, want); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("error = %v, want 0.1", e)
+	}
+	if MeanAbsRelError(got, want[:1]) != 0 {
+		t.Fatal("length mismatch not rejected")
+	}
+}

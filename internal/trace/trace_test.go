@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// echoBackend completes reads after a fixed latency and counts traffic.
+type echoBackend struct {
+	eng *sim.Engine
+	lat sim.Time
+	c   mem.Counters
+}
+
+func (e *echoBackend) Access(req *mem.Request) {
+	e.c.Add(req.Op, req.Bytes())
+	if done := req.Done; done != nil {
+		at := e.eng.Now() + e.lat
+		e.eng.Schedule(at, func() { done(at) })
+	}
+}
+
+func sampleTrace(n int) *Trace {
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		t.Records = append(t.Records, Record{
+			At:    sim.Time(i) * 10 * sim.Nanosecond,
+			Addr:  uint64(i) * 64,
+			Write: i%3 == 0,
+		})
+	}
+	return t
+}
+
+func TestCaptureRecords(t *testing.T) {
+	eng := sim.New()
+	inner := &echoBackend{eng: eng, lat: 10 * sim.Nanosecond}
+	cap := NewCapture(eng, inner, 0)
+	for i := 0; i < 50; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*sim.Nanosecond, func() {
+			op := mem.Read
+			if i%2 == 0 {
+				op = mem.Write
+			}
+			cap.Access(&mem.Request{Addr: uint64(i) * 64, Op: op})
+		})
+	}
+	eng.Run()
+	if len(cap.T.Records) != 50 {
+		t.Fatalf("captured %d records", len(cap.T.Records))
+	}
+	if cap.T.ReadRatio() != 0.5 {
+		t.Fatalf("read ratio %.2f", cap.T.ReadRatio())
+	}
+	if inner.c.TotalOps() != 50 {
+		t.Fatal("capture did not forward requests")
+	}
+	// Arrival times preserved in order.
+	for i := 1; i < len(cap.T.Records); i++ {
+		if cap.T.Records[i].At < cap.T.Records[i-1].At {
+			t.Fatal("records out of order")
+		}
+	}
+}
+
+func TestCaptureLimit(t *testing.T) {
+	eng := sim.New()
+	cap := NewCapture(eng, &echoBackend{eng: eng}, 10)
+	for i := 0; i < 100; i++ {
+		cap.Access(&mem.Request{Addr: uint64(i) * 64, Op: mem.Read})
+	}
+	if len(cap.T.Records) != 10 {
+		t.Fatalf("limit ignored: %d records", len(cap.T.Records))
+	}
+}
+
+func TestReplayTiming(t *testing.T) {
+	tr := sampleTrace(100)
+	eng := sim.New()
+	backend := &echoBackend{eng: eng, lat: 25 * sim.Nanosecond}
+	res := Replay(eng, backend, tr)
+	if backend.c.TotalOps() != 100 {
+		t.Fatalf("replayed %d ops", backend.c.TotalOps())
+	}
+	if res.ReadLatNs != 25 {
+		t.Fatalf("mean read latency %.1f, want 25", res.ReadLatNs)
+	}
+	// 100 lines × 64 B over ~990 ns + 25 ns tail.
+	if res.BWGBs < 5.5 || res.BWGBs > 7.0 {
+		t.Fatalf("replay bandwidth %.2f GB/s", res.BWGBs)
+	}
+	wantRatio := tr.ReadRatio()
+	if res.ReadRatio != wantRatio {
+		t.Fatalf("read ratio %.2f, want %.2f", res.ReadRatio, wantRatio)
+	}
+}
+
+func TestSaveReadRoundTrip(t *testing.T) {
+	tr := sampleTrace(200)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got.Records), len(tr.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestSaveReadProperty(t *testing.T) {
+	prop := func(ats []uint32, addrs []uint16) bool {
+		n := len(ats)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Records = append(tr.Records, Record{
+				At:    sim.Time(ats[i]),
+				Addr:  uint64(addrs[i]) * 64,
+				Write: ats[i]%2 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range got.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"1 2 3 4\n",
+		"abc 0x40 R\n",
+		"10 zz R\n",
+		"10 0x40 X\n",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed line %q accepted", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestEmptyTraceReplay(t *testing.T) {
+	eng := sim.New()
+	res := Replay(eng, &echoBackend{eng: eng}, &Trace{})
+	if res.Reads != 0 || res.BWGBs != 0 {
+		t.Fatalf("empty replay produced %+v", res)
+	}
+}

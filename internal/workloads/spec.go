@@ -1,0 +1,65 @@
+package workloads
+
+import "github.com/mess-sim/mess/internal/cpu"
+
+// SpecBenchmark is one entry of the SPEC-CPU2006-like synthetic suite used
+// by the remote-socket-vs-CXL case study (Appendix B, Figs. 17–18). Each
+// entry pairs a kernel shape with an LLC hit rate; together they set the
+// benchmark's memory-bandwidth intensity, which is the property the case
+// study correlates performance with.
+type SpecBenchmark struct {
+	Name       string
+	Kernel     cpu.Kernel
+	LLCHitRate float64
+}
+
+// SpecSuite returns the 26 benchmarks of Fig. 18, ordered as the paper
+// plots them: from the lowest to the highest bandwidth utilization. The
+// kernel mixes are synthetic; the intensity ordering and the read/write
+// flavour of each program follow the well-known SPEC CPU2006 memory
+// characterization (namd/gamess compute-bound … libquantum/leslie3d/lbm
+// bandwidth-bound).
+func SpecSuite() []SpecBenchmark {
+	compute := cpu.Kernel{Loads: 1, Stores: 0, ElemsPerLine: 8, ALUPerElem: 12}
+	light := cpu.Kernel{Loads: 1, Stores: 1, ElemsPerLine: 8, ALUPerElem: 8}
+	// Pointer-chasing integer programs stall on their loads: every memory
+	// access extends the critical path, which is what makes them pay for
+	// the remote socket's extra unloaded latency (Fig. 17a).
+	chase := cpu.Kernel{Loads: 1, ElemsPerLine: 4, ALUPerElem: 10, Dependent: true, Random: true}
+	medium := cpu.Kernel{Loads: 2, Stores: 1, ElemsPerLine: 8, ALUPerElem: 5}
+	heavy := cpu.Kernel{Loads: 2, Stores: 1, ElemsPerLine: 8, ALUPerElem: 3}
+	stream := cpu.Kernel{Loads: 2, Stores: 1, ElemsPerLine: 8, ALUPerElem: 2}
+
+	mk := func(name string, k cpu.Kernel, hit float64) SpecBenchmark {
+		k.Name = name
+		return SpecBenchmark{Name: name, Kernel: k, LLCHitRate: hit}
+	}
+	return []SpecBenchmark{
+		mk("namd", compute, 0.995),
+		mk("gamess", compute, 0.995),
+		mk("tonto", compute, 0.99),
+		mk("gromacs", compute, 0.99),
+		mk("perlbench", chase, 0.985),
+		mk("povray", compute, 0.985),
+		mk("calculix", light, 0.98),
+		mk("gobmk", chase, 0.98),
+		mk("astar", chase, 0.97),
+		mk("wrf", medium, 0.96),
+		mk("dealII", medium, 0.95),
+		mk("h264ref", light, 0.95),
+		mk("bzip2", medium, 0.93),
+		mk("sphinx3", medium, 0.91),
+		mk("xalancbmk", chase, 0.89),
+		mk("hmmer", medium, 0.87),
+		mk("cactusADM", heavy, 0.84),
+		mk("zeusmp", heavy, 0.80),
+		mk("gcc", chase, 0.76),
+		mk("soplex", heavy, 0.70),
+		mk("milc", heavy, 0.62),
+		mk("libquantum", stream, 0.52),
+		mk("leslie3d", stream, 0.45),
+		mk("GemsFDTD", stream, 0.38),
+		mk("lbm", stream, 0.25),
+		mk("mcf", chase, 0.30),
+	}
+}

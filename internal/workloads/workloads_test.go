@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/mess-sim/mess/internal/cache"
+	"github.com/mess-sim/mess/internal/cpu"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+func miniSpec() platform.Spec {
+	cfg := dram.DDR4(2666, 2, 1)
+	cfg.CtrlLatency = sim.FromNanoseconds(8)
+	cfg.IdleClose = 250 * sim.Nanosecond
+	return platform.Spec{
+		Name: "mini", Cores: 6, FreqGHz: 2.0,
+		DRAM:              cfg,
+		Policy:            cache.WriteAllocate,
+		OnChipLatency:     sim.FromNanoseconds(44),
+		MSHRs:             12,
+		WriteBufs:         16,
+		UnloadedLatencyNs: 88,
+	}
+}
+
+func TestStreamSuiteShape(t *testing.T) {
+	spec := miniSpec()
+	results, err := StreamSuite(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("STREAM suite returned %d results", len(results))
+	}
+	theor := spec.TheoreticalBandwidthGBs()
+	for _, r := range results {
+		if r.AppBWGBs <= 0 || r.MemBWGBs <= 0 {
+			t.Fatalf("%s reported no bandwidth: %+v", r.Name, r)
+		}
+		// Application-level STREAM bandwidth stays below the theoretical
+		// peak and below the controller-level (Mess) bandwidth on a
+		// write-allocate machine (Sec. III).
+		if r.AppBWGBs >= r.MemBWGBs {
+			t.Errorf("%s: app BW %.1f not below mem BW %.1f under write-allocate", r.Name, r.AppBWGBs, r.MemBWGBs)
+		}
+		if r.AppBWGBs > theor {
+			t.Errorf("%s: app BW %.1f exceeds theoretical %.1f", r.Name, r.AppBWGBs, theor)
+		}
+		if r.IPC <= 0 {
+			t.Errorf("%s: IPC %.2f", r.Name, r.IPC)
+		}
+	}
+	// Copy moves 2 lines per step, Add/Triad 3: with the same array sizes,
+	// Triad app bandwidth should not exceed Copy's by much, and all four
+	// must be in one bandwidth class (paper: 53-61% of theoretical for
+	// Skylake).
+	copyBW, triadBW := results[0].AppBWGBs, results[3].AppBWGBs
+	if triadBW > copyBW*1.6 || copyBW > triadBW*1.9 {
+		t.Errorf("STREAM kernels in different bandwidth classes: copy %.1f vs triad %.1f", copyBW, triadBW)
+	}
+}
+
+func TestWriteThroughMatchesAppBandwidth(t *testing.T) {
+	// On a write-through platform (Graviton 3 style), STREAM's app
+	// accounting matches the controller traffic (no RFO amplification).
+	spec := miniSpec()
+	spec.Policy = cache.WriteThrough
+	r, err := Run(spec, cpu.StreamCopy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.MemBWGBs / r.AppBWGBs
+	if ratio < 0.95 || ratio > 1.10 {
+		t.Fatalf("write-through mem/app bandwidth ratio = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestLatencySuiteSingleCore(t *testing.T) {
+	spec := miniSpec()
+	results, err := LatencySuite(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		// Dependent chases: IPC = instr/step over latency cycles. For
+		// LMbench: 2 instructions per ~88 ns × 2 GHz = 176 cycles → ≈0.011.
+		if r.IPC <= 0 || r.IPC > 0.1 {
+			t.Errorf("%s IPC = %.4f implausible for a memory-latency benchmark", r.Name, r.IPC)
+		}
+		if r.MemBWGBs > 2 {
+			t.Errorf("%s bandwidth %.1f GB/s too high for a single dependent chase", r.Name, r.MemBWGBs)
+		}
+	}
+}
+
+func TestEvalSuiteComplete(t *testing.T) {
+	spec := miniSpec()
+	results, err := EvalSuite(spec, Options{Warmup: 5 * sim.Microsecond, Measure: 15 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("eval suite has %d entries, want 6 (4 STREAM + 2 latency)", len(results))
+	}
+}
+
+func TestLLCHitRateReducesTraffic(t *testing.T) {
+	spec := miniSpec()
+	hot, err := Run(spec, cpu.StreamTriad, Options{LLCHitRate: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(spec, cpu.StreamTriad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MemBWGBs > cold.MemBWGBs*0.5 {
+		t.Fatalf("95%% LLC hits left %.1f GB/s of %.1f — locality knob ineffective", hot.MemBWGBs, cold.MemBWGBs)
+	}
+	if hot.IPC <= cold.IPC {
+		t.Fatalf("cache hits did not raise IPC: %.2f vs %.2f", hot.IPC, cold.IPC)
+	}
+}
+
+func TestSpecSuiteOrdering(t *testing.T) {
+	suite := SpecSuite()
+	if len(suite) < 25 {
+		t.Fatalf("SPEC-like suite has %d entries", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %s", b.Name)
+		}
+		names[b.Name] = true
+		if b.LLCHitRate < 0 || b.LLCHitRate > 1 {
+			t.Fatalf("%s hit rate %v", b.Name, b.LLCHitRate)
+		}
+	}
+	for _, want := range []string{"perlbench", "lbm", "namd", "libquantum", "mcf"} {
+		if !names[want] {
+			t.Fatalf("suite missing %s", want)
+		}
+	}
+}
+
+func TestPhasedAppTimeline(t *testing.T) {
+	spec := miniSpec()
+	app := NewPhasedApp(spec, HPCGPhases(), nil)
+	app.Run(900 * sim.Microsecond)
+	events := app.Events()
+	if len(events) < 6 {
+		t.Fatalf("phased app recorded %d events", len(events))
+	}
+	sawMPI, sawCompute := false, false
+	for i, e := range events {
+		if e.End <= e.Start {
+			t.Fatalf("event %d has non-positive duration", i)
+		}
+		if i > 0 && e.Start != events[i-1].End {
+			t.Fatalf("timeline gap between %d and %d", i-1, i)
+		}
+		if e.MPI {
+			sawMPI = true
+		} else {
+			sawCompute = true
+		}
+	}
+	if !sawMPI || !sawCompute {
+		t.Fatal("timeline missing MPI or compute phases")
+	}
+	if app.Counting.Snapshot().TotalBytes() == 0 {
+		t.Fatal("phased app generated no memory traffic")
+	}
+}
+
+func TestRunRejectsArraylessKernel(t *testing.T) {
+	if _, err := Run(miniSpec(), cpu.Kernel{Name: "empty"}, Options{}); err == nil {
+		t.Fatal("kernel without arrays accepted")
+	}
+}

@@ -1,0 +1,238 @@
+// Package mess is the public API of Mess-Go, a Go reproduction of the Mess
+// framework ("A Mess of Memory System Benchmarking, Simulation and
+// Application Profiling", MICRO 2024): unified memory-system benchmarking,
+// analytical simulation and application profiling built around families of
+// bandwidth–latency curves.
+//
+// The three framework components map to three entry points:
+//
+//   - Characterize runs the Mess benchmark (pointer-chase + traffic
+//     generators) against a simulated platform and returns its curve
+//     family;
+//   - NewSimulator builds the Mess analytical memory simulator from a
+//     curve family, usable as a memory backend under any CPU model;
+//   - BuildProfile positions an application's sampled memory traffic on a
+//     curve family and derives memory stress scores.
+//
+// Everything runs on a deterministic discrete-event substrate: cycle-level
+// DDR4/DDR5/HBM2 channels, write-allocate cache translation and MSHR-
+// limited cores, configured to mirror the paper's eight platforms.
+package mess
+
+import (
+	"io"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/cxl"
+	"github.com/mess-sim/mess/internal/exp"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/messsim"
+	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/plot"
+	"github.com/mess-sim/mess/internal/profile"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// Core curve types. The bandwidth–latency family is the framework's
+// central artifact; see the core package for the full method set
+// (LatencyAt, Metrics, StressScore, …).
+type (
+	// Point is one (bandwidth GB/s, latency ns) measurement.
+	Point = core.Point
+	// Curve is a bandwidth–latency curve at one read/write composition.
+	Curve = core.Curve
+	// Family is a set of curves spanning read/write compositions.
+	Family = core.Family
+	// Metrics are the derived Table-I quantities.
+	Metrics = core.Metrics
+	// StressWeights parameterize the memory stress score.
+	StressWeights = core.StressWeights
+)
+
+// DefaultStressWeights are the paper's stress-score weights.
+var DefaultStressWeights = core.DefaultStressWeights
+
+// Platform is a simulated machine specification.
+type Platform = platform.Spec
+
+// Pre-configured platforms of the paper's Table I.
+var (
+	Skylake        = platform.Skylake
+	CascadeLake    = platform.CascadeLake
+	Zen2           = platform.Zen2
+	Power9         = platform.Power9
+	Graviton3      = platform.Graviton3
+	SapphireRapids = platform.SapphireRapids
+	A64FX          = platform.A64FX
+	H100           = platform.H100
+)
+
+// Platforms returns all Table-I platform specifications.
+func Platforms() []Platform { return platform.All() }
+
+// PlatformByName looks a platform up by its display name.
+func PlatformByName(name string) (Platform, error) { return platform.ByName(name) }
+
+// BenchmarkOptions configure Characterize; the zero value uses the full
+// default sweep. See bench.Options for all knobs.
+type BenchmarkOptions = bench.Options
+
+// TrafficMix selects one kernel composition of the sweep.
+type TrafficMix = bench.Mix
+
+// BenchmarkResult is a completed characterization: the curve family plus
+// every raw measurement sample.
+type BenchmarkResult = bench.Result
+
+// Characterize runs the Mess benchmark on the platform's detailed memory
+// model and returns the curve family with all samples.
+func Characterize(p Platform, opt BenchmarkOptions) (*BenchmarkResult, error) {
+	return bench.Run(p, opt)
+}
+
+// QuickBenchmarkOptions returns a reduced sweep (three mixes, coarse
+// pacing) for fast exploration.
+func QuickBenchmarkOptions() BenchmarkOptions { return bench.QuickOptions() }
+
+// MeasureUnloadedLatency runs only the pointer chase and reports the
+// platform's unloaded load-to-use latency in nanoseconds.
+func MeasureUnloadedLatency(p Platform) (float64, error) {
+	return bench.MeasureUnloaded(p, bench.QuickOptions())
+}
+
+// Memory-interface types, for embedding the Mess simulator (or any model)
+// under a custom CPU model.
+type (
+	// MemRequest is one memory transaction; the backend invokes Done at
+	// completion.
+	MemRequest = mem.Request
+	// MemOp distinguishes reads from writes at the controller boundary.
+	MemOp = mem.Op
+	// MemBackend services memory requests.
+	MemBackend = mem.Backend
+	// TrafficCounters mirror uncore bandwidth counters.
+	TrafficCounters = mem.Counters
+	// CountingBackend wraps a backend with traffic counters.
+	CountingBackend = mem.CountingBackend
+)
+
+// Memory operations.
+const (
+	MemRead  = mem.Read
+	MemWrite = mem.Write
+)
+
+// NewCountingBackend wraps a backend with traffic counters.
+func NewCountingBackend(inner MemBackend) *CountingBackend { return mem.NewCounting(inner) }
+
+// SimulatorConfig configures the Mess analytical memory simulator.
+type SimulatorConfig = messsim.Config
+
+// Simulator is the Mess analytical memory simulator: a feedback controller
+// over a curve family, usable as a memory backend.
+type Simulator = messsim.Simulator
+
+// Engine is the discrete-event kernel shared by all models.
+type Engine = sim.Engine
+
+// SimTime is a simulation timestamp in picoseconds.
+type SimTime = sim.Time
+
+// Simulation time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// NewEngine returns a fresh simulation engine.
+func NewEngine() *Engine { return sim.New() }
+
+// NewSimulator builds the Mess analytical simulator on the engine.
+func NewSimulator(eng *Engine, cfg SimulatorConfig) *Simulator {
+	return messsim.New(eng, cfg)
+}
+
+// Profiling API.
+type (
+	// Profile is an analyzed application profile.
+	Profile = profile.Profile
+	// ProfileSample is one analyzed window.
+	ProfileSample = profile.Sample
+	// PhaseSpan labels a timeline interval.
+	PhaseSpan = profile.PhaseSpan
+	// CounterWindow is a raw sampled traffic window.
+	CounterWindow = profile.CounterWindow
+)
+
+// BuildProfile analyzes sampled counter windows against a curve family.
+func BuildProfile(label string, fam *Family, windows []CounterWindow, phases []PhaseSpan, w StressWeights) *Profile {
+	return profile.Build(label, fam, windows, phases, w)
+}
+
+// CXL device modelling (Sec. V-C).
+
+// CXLFamily measures the bandwidth–latency curves of the modelled CXL
+// memory expander (the manufacturer's-model stand-in).
+func CXLFamily() *Family { return cxl.Family(cxl.SweepOptions{}) }
+
+// RemoteSocketCXLFamily measures the curves of the remote-socket CXL
+// emulation of Appendix B.
+func RemoteSocketCXLFamily() *Family { return cxl.RemoteSocketFamily(cxl.SweepOptions{}) }
+
+// OptaneFamily measures the curves of the modelled Intel Optane DC
+// persistent-memory modules (App Direct mode), the other non-DDR
+// technology the Mess simulator release supports.
+func OptaneFamily() *Family { return cxl.OptaneFamily(cxl.SweepOptions{}) }
+
+// Curve persistence.
+
+// WriteCurvesCSV serializes a family in the release CSV format.
+func WriteCurvesCSV(w io.Writer, f *Family) error { return f.WriteCSV(w) }
+
+// ReadCurvesCSV parses a family from the release CSV format.
+func ReadCurvesCSV(r io.Reader) (*Family, error) { return core.ReadCSV(r) }
+
+// PlotCurves renders the family as an ASCII chart.
+func PlotCurves(w io.Writer, f *Family, width, height int) error {
+	return plot.CurveFamily(w, f, width, height)
+}
+
+// Experiment reproduction (every table and figure of the paper).
+
+// Experiment is one registered reproduction target.
+type Experiment = exp.Experiment
+
+// ExperimentResult is a structured experiment outcome; Render writes it as
+// text.
+type ExperimentResult = exp.Result
+
+// ExperimentScale selects Quick or Full fidelity.
+type ExperimentScale = exp.Scale
+
+// Experiment scales.
+const (
+	ScaleQuick = exp.Quick
+	ScaleFull  = exp.Full
+)
+
+// Experiments lists every registered experiment.
+func Experiments() []Experiment { return exp.All() }
+
+// RunExperiment executes one experiment by id ("fig2" … "fig18", "table1",
+// "tablespeed", "openpiton-bug").
+func RunExperiment(id string, s ExperimentScale) (*ExperimentResult, error) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return e.Run(s)
+}
+
+// UnknownExperimentError reports a request for an unregistered experiment.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "mess: unknown experiment " + e.ID
+}

@@ -1,0 +1,209 @@
+package mess_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/mess-sim/mess"
+)
+
+// The facade tests exercise the library exactly as an external user would.
+
+func TestPlatformsExposed(t *testing.T) {
+	ps := mess.Platforms()
+	if len(ps) != 8 {
+		t.Fatalf("platforms = %d, want 8", len(ps))
+	}
+	sk := mess.Skylake()
+	if sk.TheoreticalBandwidthGBs() < 120 || sk.TheoreticalBandwidthGBs() > 132 {
+		t.Fatalf("Skylake theoretical BW = %.0f", sk.TheoreticalBandwidthGBs())
+	}
+	if _, err := mess.PlatformByName("Intel Skylake"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mess.PlatformByName("bogus"); err == nil {
+		t.Fatal("bogus platform accepted")
+	}
+}
+
+func TestCharacterizeAndPersist(t *testing.T) {
+	spec := mess.CascadeLake()
+	spec.Cores = 8 // trim for test speed
+	spec.DRAM.Channels = 3
+	res, err := mess.Characterize(spec, mess.QuickBenchmarkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Family.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var csv bytes.Buffer
+	if err := mess.WriteCurvesCSV(&csv, res.Family); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mess.ReadCurvesCSV(&csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != res.Family.Label {
+		t.Fatalf("label lost in round trip: %q", back.Label)
+	}
+
+	var chart bytes.Buffer
+	if err := mess.PlotCurves(&chart, res.Family, 60, 14); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart.String(), "latency [ns]") {
+		t.Fatal("plot missing axes annotation")
+	}
+}
+
+func TestSimulatorFacade(t *testing.T) {
+	fam := mustQuickFamily(t)
+	eng := mess.NewEngine()
+	model := mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
+
+	completed := 0
+	var latSum mess.SimTime
+	var line uint64
+	var issue func()
+	issue = func() {
+		addr := (line%8)*(1<<28) + (line/8)*64
+		line++
+		start := eng.Now()
+		model.Access(&mess.MemRequest{Addr: addr, Op: mess.MemRead, Done: func(at mess.SimTime) {
+			completed++
+			latSum += at - start
+			if eng.Now() < mess.Millisecond {
+				issue()
+			}
+		}})
+	}
+	for i := 0; i < 32; i++ {
+		issue()
+	}
+	eng.RunUntil(mess.Millisecond)
+	if completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	mean := (latSum / mess.SimTime(completed)).Nanoseconds()
+	if mean < 40 || mean > 2000 {
+		t.Fatalf("mean latency %.0f ns implausible", mean)
+	}
+}
+
+var cachedFam *mess.Family
+
+func mustQuickFamily(t *testing.T) *mess.Family {
+	t.Helper()
+	if cachedFam != nil {
+		return cachedFam
+	}
+	spec := mess.Skylake()
+	spec.Cores = 8
+	spec.DRAM.Channels = 3
+	res, err := mess.Characterize(spec, mess.QuickBenchmarkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedFam = res.Family
+	return cachedFam
+}
+
+func TestMemoryModelZooFacade(t *testing.T) {
+	if len(mess.MemoryModels()) < 8 {
+		t.Fatal("zoo incomplete")
+	}
+	fam := mustQuickFamily(t)
+	spec := mess.Skylake()
+	for _, kind := range mess.MemoryModels() {
+		eng := mess.NewEngine()
+		m, err := mess.NewMemoryModel(kind, eng, spec, fam)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		done := false
+		m.Access(&mess.MemRequest{Addr: 64, Op: mess.MemRead, Done: func(mess.SimTime) { done = true }})
+		eng.RunUntil(10 * mess.Microsecond)
+		if !done {
+			t.Fatalf("%s did not complete a read", kind)
+		}
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	spec := mess.Skylake()
+	spec.Cores = 6
+	spec.DRAM.Channels = 3
+	r, err := mess.RunWorkload(spec, mess.StreamTriad, mess.WorkloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 || r.AppBWGBs <= 0 {
+		t.Fatalf("triad result %+v", r)
+	}
+	if len(mess.SpecSuite()) < 25 {
+		t.Fatal("SPEC suite incomplete")
+	}
+}
+
+func TestProfilingFacade(t *testing.T) {
+	spec := mess.CascadeLake()
+	spec.Cores = 6
+	spec.DRAM.Channels = 3
+	fam := mustQuickFamily(t)
+
+	app := mess.NewHPCGProxy(spec)
+	sampler := mess.NewSampler(app.Eng, app.Counting, 10*mess.Microsecond)
+	sampler.Start()
+	app.Run(400 * mess.Microsecond)
+	sampler.Stop()
+
+	var phases []mess.PhaseSpan
+	for _, e := range app.Events() {
+		phases = append(phases, mess.PhaseSpan{Name: e.Name, Start: e.Start, End: e.End, MPI: e.MPI})
+	}
+	p := mess.BuildProfile("hpcg", fam, sampler.Windows(), phases, mess.DefaultStressWeights)
+	if len(p.Samples) == 0 {
+		t.Fatal("no profile samples")
+	}
+	if p.MaxStress() <= 0 {
+		t.Fatal("no stress measured")
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	exps := mess.Experiments()
+	if len(exps) < 25 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	if _, err := mess.RunExperiment("nope", mess.ScaleQuick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	res, err := mess.RunExperiment("fig2", mess.ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Fatal("render missing paper reference")
+	}
+}
+
+func TestUnloadedLatencyFacade(t *testing.T) {
+	spec := mess.Skylake()
+	spec.Cores = 4
+	spec.DRAM.Channels = 2
+	lat, err := mess.MeasureUnloadedLatency(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < 70 || lat > 110 {
+		t.Fatalf("unloaded latency %.0f ns out of calibration", lat)
+	}
+}
