@@ -2,9 +2,13 @@
 // and emits its bandwidth–latency curve family: an ASCII figure, derived
 // metrics, and optionally the release-format CSV.
 //
+// With -cache-dir the curve family persists under the directory keyed by
+// its content fingerprint, so re-running the same characterization loads
+// it instead of simulating.
+//
 // Usage:
 //
-//	messbench -platform "Intel Skylake" [-full] [-out curves.csv]
+//	messbench -platform "Intel Skylake" [-full] [-out curves.csv] [-cache-dir ~/.cache/mess]
 //	messbench -list
 package main
 
@@ -15,14 +19,17 @@ import (
 	"time"
 
 	"github.com/mess-sim/mess"
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/cli"
 )
 
 func main() {
 	var (
-		name = flag.String("platform", "Intel Skylake", "platform to characterize (see -list)")
-		list = flag.Bool("list", false, "list available platforms and exit")
-		full = flag.Bool("full", false, "run the full sweep (dense mixes and pacing; slower)")
-		out  = flag.String("out", "", "write the curve family as CSV to this file")
+		name     = flag.String("platform", "Intel Skylake", "platform to characterize (see -list)")
+		list     = flag.Bool("list", false, "list available platforms and exit")
+		full     = flag.Bool("full", false, "run the full sweep (dense mixes and pacing; slower)")
+		out      = flag.String("out", "", "write the curve family as CSV to this file")
+		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 	)
 	flag.Parse()
 
@@ -33,43 +40,47 @@ func main() {
 		return
 	}
 
-	spec, err := mess.PlatformByName(*name)
-	if err != nil {
-		fatal(err)
-	}
+	spec := cli.MustPlatform(*name)
 	opt := mess.QuickBenchmarkOptions()
 	if *full {
 		opt = mess.BenchmarkOptions{}
 	}
 
+	svc := cli.Service(*cacheDir)
 	fmt.Printf("characterizing %s ...\n", spec.String())
 	start := time.Now()
-	res, err := mess.Characterize(spec, opt)
+	art, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	fmt.Printf("done in %s (%d measurement points)\n\n", time.Since(start).Round(time.Millisecond), len(res.Samples))
+	points := 0
+	for _, c := range art.Family.Curves {
+		points += len(c.Points)
+	}
+	switch art.Source {
+	case charz.SourceDisk:
+		fmt.Printf("loaded from cache (%s) in %s (%d curve points)\n\n",
+			art.Key.Short(), time.Since(start).Round(time.Millisecond), points)
+	default:
+		fmt.Printf("done in %s (%d curve points)\n\n",
+			time.Since(start).Round(time.Millisecond), points)
+	}
 
-	if err := mess.PlotCurves(os.Stdout, res.Family, 76, 22); err != nil {
-		fatal(err)
+	if err := mess.PlotCurves(os.Stdout, art.Family, 76, 22); err != nil {
+		cli.Fatal(err)
 	}
-	m := res.Family.Metrics()
+	m := art.Family.Metrics()
 	fmt.Printf("\n%s\n", m.String())
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		defer f.Close()
-		if err := mess.WriteCurvesCSV(f, res.Family); err != nil {
-			fatal(err)
+		if err := mess.WriteCurvesCSV(f, art.Family); err != nil {
+			cli.Fatal(err)
 		}
 		fmt.Printf("curves written to %s\n", *out)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messbench:", err)
-	os.Exit(1)
 }

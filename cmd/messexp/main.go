@@ -2,11 +2,16 @@
 // experiment renders a structured report: tables, ASCII curve figures and
 // reproduction notes.
 //
+// All experiments in one invocation share a single characterization
+// service, so `-run all` performs each unique characterization exactly
+// once; with -cache-dir the curves additionally persist across
+// invocations.
+//
 // Usage:
 //
 //	messexp -list
 //	messexp -run fig2
-//	messexp -run all -scale full -outdir results/
+//	messexp -run all -scale full -outdir results/ [-cache-dir ~/.cache/mess]
 package main
 
 import (
@@ -17,14 +22,16 @@ import (
 	"time"
 
 	"github.com/mess-sim/mess"
+	"github.com/mess-sim/mess/internal/cli"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment id (fig2 … fig18, table1, tablespeed, openpiton-bug) or \"all\"")
-		scale  = flag.String("scale", "quick", "quick (scaled platforms, coarse sweeps) or full (paper configurations)")
-		outdir = flag.String("outdir", "", "also write each report to <outdir>/<id>.txt")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "experiment id (fig2 … fig18, table1, tablespeed, openpiton-bug) or \"all\"")
+		scale    = flag.String("scale", "quick", "quick (scaled platforms, coarse sweeps) or full (paper configurations)")
+		outdir   = flag.String("outdir", "", "also write each report to <outdir>/<id>.txt")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 	)
 	flag.Parse()
 
@@ -39,15 +46,7 @@ func main() {
 		return
 	}
 
-	var s mess.ExperimentScale
-	switch *scale {
-	case "quick":
-		s = mess.ScaleQuick
-	case "full":
-		s = mess.ScaleFull
-	default:
-		fatal(fmt.Errorf("unknown scale %q", *scale))
-	}
+	s := cli.MustScale(*scale)
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -59,14 +58,15 @@ func main() {
 
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 	}
 
+	svc := cli.Service(*cacheDir)
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
-		res, err := mess.RunExperiment(id, s)
+		res, err := mess.RunExperimentWith(svc, id, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "messexp: %s failed: %v\n", id, err)
 			failed++
@@ -74,7 +74,7 @@ func main() {
 		}
 		fmt.Printf("\n")
 		if err := res.Render(os.Stdout); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("(%s in %s at %s scale)\n", id, time.Since(start).Round(time.Millisecond), s)
 
@@ -82,21 +82,17 @@ func main() {
 			path := filepath.Join(*outdir, id+".txt")
 			f, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				cli.Fatal(err)
 			}
 			if err := res.Render(f); err != nil {
 				f.Close()
-				fatal(err)
+				cli.Fatal(err)
 			}
 			f.Close()
 		}
 	}
+	cli.PrintStats(svc)
 	if failed > 0 {
 		os.Exit(1)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messexp:", err)
-	os.Exit(1)
 }

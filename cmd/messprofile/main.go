@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	messprofile -platform "Intel Cascade Lake" [-trace profile.prv]
+//	messprofile -platform "Intel Cascade Lake" [-trace profile.prv] [-cache-dir ~/.cache/mess]
 package main
 
 import (
@@ -16,6 +16,8 @@ import (
 
 	"github.com/mess-sim/mess"
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/cli"
 	"github.com/mess-sim/mess/internal/plot"
 	"github.com/mess-sim/mess/internal/profile"
 	"github.com/mess-sim/mess/internal/sim"
@@ -24,21 +26,20 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("platform", "Intel Cascade Lake", "platform to profile on")
-		out   = flag.String("trace", "", "write the Paraver-flavoured trace to this file")
-		durUs = flag.Int("duration-us", 2000, "simulated application duration in microseconds")
+		name     = flag.String("platform", "Intel Cascade Lake", "platform to profile on")
+		out      = flag.String("trace", "", "write the Paraver-flavoured trace to this file")
+		durUs    = flag.Int("duration-us", 2000, "simulated application duration in microseconds")
+		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 	)
 	flag.Parse()
 
-	spec, err := mess.PlatformByName(*name)
-	if err != nil {
-		fatal(err)
-	}
+	spec := cli.MustPlatform(*name)
 
+	svc := cli.Service(*cacheDir)
 	fmt.Printf("characterizing %s for the profiling curves ...\n", spec.Name)
-	ref, err := bench.Run(spec, bench.QuickOptions())
+	ref, err := svc.Characterize(charz.Request{Spec: spec, Options: bench.QuickOptions()})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 
 	fmt.Println("running the HPCG proxy with the window sampler ...")
@@ -65,7 +66,7 @@ func main() {
 		rows = append(rows, []string{ph, fmt.Sprintf("%.2f", byPhase[ph])})
 	}
 	if err := plot.Table(os.Stdout, []string{"phase", "mean stress"}, rows); err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 
 	fmt.Println("\ntimeline (first 25 windows):")
@@ -87,23 +88,18 @@ func main() {
 		})
 	}
 	if err := plot.Table(os.Stdout, []string{"window", "phase", "BW [GB/s]", "latency [ns]", "stress"}, trows); err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		defer f.Close()
 		if err := p.WriteTrace(f); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("\ntrace written to %s\n", *out)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messprofile:", err)
-	os.Exit(1)
 }

@@ -3,6 +3,9 @@
 // curves) and optionally evaluates workload IPC error against the detailed
 // reference model — the Sec. IV/V methodology as a tool.
 //
+// The reference and per-model characterizations flow through one
+// characterization service; with -cache-dir they persist across runs.
+//
 // Usage:
 //
 //	messsim -platform "Intel Skylake" -models fixed,md1,mess
@@ -18,6 +21,8 @@ import (
 
 	"github.com/mess-sim/mess"
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/cli"
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/memmodel"
 	"github.com/mess-sim/mess/internal/plot"
@@ -27,29 +32,28 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("platform", "Intel Skylake", "platform (CPU side) to evaluate under")
-		models = flag.String("models", "fixed,md1,internal-ddr,dramsim3,ramulator,mess", "comma-separated model kinds")
-		ipc    = flag.Bool("ipc", false, "run the workload IPC-error evaluation instead of curves")
-		full   = flag.Bool("full", false, "use the full benchmark sweep")
+		name     = flag.String("platform", "Intel Skylake", "platform (CPU side) to evaluate under")
+		models   = flag.String("models", "fixed,md1,internal-ddr,dramsim3,ramulator,mess", "comma-separated model kinds")
+		ipc      = flag.Bool("ipc", false, "run the workload IPC-error evaluation instead of curves")
+		full     = flag.Bool("full", false, "use the full benchmark sweep")
+		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 	)
 	flag.Parse()
 
-	spec, err := mess.PlatformByName(*name)
-	if err != nil {
-		fatal(err)
-	}
+	spec := cli.MustPlatform(*name)
 
 	opt := bench.QuickOptions()
 	if *full {
 		opt = bench.Options{}
 	}
 
+	svc := cli.Service(*cacheDir)
 	fmt.Printf("reference characterization of %s ...\n", spec.Name)
-	ref, err := bench.Run(spec, opt)
+	refArt, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	refFam := ref.Family
+	refFam := refArt.Family
 
 	kinds := parseKinds(*models)
 	if *ipc {
@@ -59,7 +63,7 @@ func main() {
 
 	fmt.Println("\n== reference (detailed DRAM model) ==")
 	if err := plot.CurveFamily(os.Stdout, refFam, 72, 18); err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	for _, kind := range kinds {
 		kind := kind
@@ -71,23 +75,25 @@ func main() {
 			}
 			return m
 		}
-		res, err := bench.Run(spec, o)
+		art, err := svc.Characterize(charz.Request{Spec: spec, Options: o, Tag: "model:" + string(kind)})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
-		res.Family.Label = spec.Name + " + " + string(kind)
-		fmt.Printf("\n== %s ==\n", res.Family.Label)
-		if err := plot.CurveFamily(os.Stdout, res.Family, 72, 18); err != nil {
-			fatal(err)
+		fam := art.Family
+		fam.Label = spec.Name + " + " + string(kind)
+		fmt.Printf("\n== %s ==\n", fam.Label)
+		if err := plot.CurveFamily(os.Stdout, fam, 72, 18); err != nil {
+			cli.Fatal(err)
 		}
-		fmt.Println(res.Family.Metrics().String())
+		fmt.Println(fam.Metrics().String())
 	}
+	cli.PrintStats(svc)
 }
 
 func runIPC(spec mess.Platform, refFam *mess.Family, kinds []memmodel.Kind) {
 	refResults, err := workloads.EvalSuite(spec, workloads.Options{})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	header := []string{"model"}
 	for _, b := range refResults {
@@ -106,7 +112,7 @@ func runIPC(spec mess.Platform, refFam *mess.Family, kinds []memmodel.Kind) {
 		}}
 		got, err := workloads.EvalSuite(spec, o)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		row := []string{string(kind)}
 		sum := 0.0
@@ -120,7 +126,7 @@ func runIPC(spec mess.Platform, refFam *mess.Family, kinds []memmodel.Kind) {
 	}
 	fmt.Println("\nabsolute IPC error vs reference platform:")
 	if err := plot.Table(os.Stdout, header, rows); err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 }
 
@@ -134,9 +140,4 @@ func parseKinds(s string) []memmodel.Kind {
 		out = append(out, memmodel.Kind(part))
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messsim:", err)
-	os.Exit(1)
 }

@@ -15,6 +15,7 @@ import (
 
 	"github.com/mess-sim/mess"
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/cli"
 	"github.com/mess-sim/mess/internal/dram"
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/memmodel"
@@ -34,10 +35,7 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, err := mess.PlatformByName(*name)
-	if err != nil {
-		fatal(err)
-	}
+	spec := cli.MustPlatform(*name)
 
 	switch {
 	case *capture != "":
@@ -61,7 +59,7 @@ func doCapture(spec mess.Platform, path string, stores int, pace float64, limit 
 	}
 	res, err := bench.Run(spec, opt)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	s := res.Samples[0]
 	fmt.Printf("captured %d records at %.1f GB/s (read ratio %.2f, latency %.0f ns)\n",
@@ -69,11 +67,11 @@ func doCapture(spec mess.Platform, path string, stores int, pace float64, limit 
 
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	defer f.Close()
 	if err := cap.T.Save(f); err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	fmt.Printf("trace written to %s\n", path)
 }
@@ -81,27 +79,22 @@ func doCapture(spec mess.Platform, path string, stores int, pace float64, limit 
 func doReplay(spec mess.Platform, path string, kind memmodel.Kind) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 
 	eng := sim.New()
 	m, err := memmodel.New(kind, eng, spec, nil)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	res := trace.Replay(eng, m, tr)
 	fmt.Printf("replayed %d records through %s:\n", len(tr.Records), kind)
 	fmt.Printf("  bandwidth:        %.1f GB/s\n", res.BWGBs)
 	fmt.Printf("  mean read latency: %.1f ns (controller level)\n", res.ReadLatNs)
 	fmt.Printf("  read ratio:       %.2f\n", res.ReadRatio)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "messtrace:", err)
-	os.Exit(1)
 }

@@ -4,13 +4,15 @@ import (
 	"github.com/mess-sim/mess/internal/cpu"
 	"github.com/mess-sim/mess/internal/memmodel"
 	"github.com/mess-sim/mess/internal/profile"
-	"github.com/mess-sim/mess/internal/sim"
 	"github.com/mess-sim/mess/internal/workloads"
 )
 
 // This file extends the public API with the evaluation machinery: the
 // memory-model zoo, the workload suite, and the profiling sampler — enough
-// to rebuild every experiment of the paper from the outside.
+// to rebuild every experiment of the paper from the outside. Evaluation
+// flows that need reference curves (NewMemoryModel's Mess kind, profiling)
+// should obtain them through the characterization service (Characterize or
+// a CharacterizationService) rather than re-running the benchmark.
 
 // MemoryModelKind names one model of the zoo (Sec. IV baselines plus the
 // detailed reference and the Mess analytical simulator).
@@ -95,5 +97,3 @@ type Sampler = profile.Sampler
 func NewSampler(eng *Engine, counting *CountingBackend, every SimTime) *Sampler {
 	return profile.NewSampler(eng, counting, every)
 }
-
-var _ = sim.Nanosecond // keep the sim import anchored to its alias uses

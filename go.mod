@@ -1,0 +1,3 @@
+module github.com/mess-sim/mess
+
+go 1.21

@@ -97,6 +97,20 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
+// Normalized returns the options with every sweep-defining field filled
+// with its default and every execution-only knob cleared. Two Options
+// values describing the same sweep normalize to the same value regardless
+// of the host, which is what makes them usable as cache-key material:
+// Parallelism (a host-dependent execution bound) is zeroed, and Backend (a
+// function value with no stable identity) is dropped — callers that swap
+// the backend must carry its identity in the cache key themselves.
+func (o Options) Normalized() Options {
+	out := o.withDefaults()
+	out.Parallelism = 0
+	out.Backend = nil
+	return out
+}
+
 // Sample is one measurement point.
 type Sample struct {
 	Mix     Mix

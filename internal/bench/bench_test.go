@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/mess-sim/mess/internal/cache"
 	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/platform"
 	"github.com/mess-sim/mess/internal/sim"
 )
@@ -174,5 +176,37 @@ func TestOpenPitonBugDetection(t *testing.T) {
 	}
 	if r := res2.Samples[0].RdRatio; r > 0.8 {
 		t.Fatalf("bugged pure-load read ratio = %.2f, want well below 1 (excess writebacks)", r)
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	// The zero value and an explicit spelling of every default must
+	// normalize identically — that equivalence is what makes Options
+	// usable as cache-key material.
+	zero := Options{}.Normalized()
+	explicit := Options{
+		PacesNs:    []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512},
+		Warmup:     20 * sim.Microsecond,
+		Measure:    50 * sim.Microsecond,
+		ChaseLines: 1 << 19,
+		ArrayBytes: 32 << 20,
+	}
+	for s := 0; s <= 100; s += 20 {
+		explicit.Mixes = append(explicit.Mixes, Mix{StorePercent: s})
+	}
+	got := explicit.Normalized()
+	if fmt.Sprint(zero) != fmt.Sprint(got) {
+		t.Fatalf("explicit defaults normalize differently:\nzero:     %+v\nexplicit: %+v", zero, got)
+	}
+
+	// Execution-only knobs are cleared regardless of input.
+	o := Options{Parallelism: 12, Backend: func(eng *sim.Engine) mem.Backend { return nil }}
+	n := o.Normalized()
+	if n.Parallelism != 0 || n.Backend != nil {
+		t.Fatalf("Parallelism/Backend leaked through normalization: %+v", n)
+	}
+	// Normalization must not mutate the receiver.
+	if o.Parallelism != 12 || o.Backend == nil {
+		t.Fatalf("Normalized mutated its receiver: %+v", o)
 	}
 }

@@ -1,0 +1,317 @@
+// Package charz is the characterization service: the single path from a
+// (platform, benchmark options) pair to its bandwidth–latency curve family.
+//
+// Every component of the framework — the experiment registry, the CLI
+// tools, the public facade — consumes curve families, and producing one
+// means running the full Mess benchmark sweep, the hottest path in the
+// repository. The service makes that path shared rather than ad hoc:
+//
+//   - requests are content-addressed: a SHA-256 fingerprint of the
+//     canonical spec + normalized options (see Fingerprint) identifies a
+//     characterization, so two callers asking for the same curves hit the
+//     same cache slot no matter which layer they call from;
+//   - an in-memory cache with singleflight deduplication guarantees that
+//     concurrent requests for one key run exactly one simulation — the
+//     rest block on the in-flight run and share its result;
+//   - an optional on-disk store persists families in the release CSV
+//     format, so repeated CLI invocations skip re-simulation entirely;
+//   - CharacterizeAll fans a batch of requests out over a bounded worker
+//     pool, characterizing distinct platforms concurrently.
+//
+// Results handed to callers are deep copies: experiments relabel and
+// resort families freely without corrupting the cache.
+package charz
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/platform"
+)
+
+// Source reports where an artifact came from.
+type Source int
+
+const (
+	// SourceRun: a fresh simulation ran for this request.
+	SourceRun Source = iota
+	// SourceMemory: served from the in-memory cache (including waiting on
+	// an in-flight run for the same key).
+	SourceMemory
+	// SourceDisk: loaded from the on-disk store without simulating.
+	SourceDisk
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceRun:
+		return "run"
+	case SourceMemory:
+		return "memory"
+	case SourceDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Request names one characterization.
+type Request struct {
+	// Spec is the platform to characterize.
+	Spec platform.Spec
+	// Options configure the benchmark sweep. Parallelism is honoured for
+	// the run but excluded from the cache key; Backend is honoured but
+	// must be identified by Tag to be cacheable.
+	Options bench.Options
+	// Tag disambiguates requests whose Options carry a custom Backend
+	// (e.g. "model:ramulator2"). A request with a Backend and no Tag is
+	// uncacheable and always simulates.
+	Tag string
+	// NeedSamples requires the raw measurement samples, which the disk
+	// store does not persist: the request skips disk loads and upgrades a
+	// family-only memory entry by re-simulating.
+	NeedSamples bool
+}
+
+// Artifact is a completed characterization. Family is always set; Result
+// (the family plus raw samples) is populated only for requests that set
+// NeedSamples and could not be satisfied from the on-disk store. Both are
+// private deep copies.
+type Artifact struct {
+	Key    Key
+	Family *core.Family
+	Result *bench.Result
+	Source Source
+}
+
+// RunFunc executes one benchmark sweep. The default is bench.Run; tests
+// substitute counting or synthetic runners.
+type RunFunc func(platform.Spec, bench.Options) (*bench.Result, error)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds concurrent characterizations in CharacterizeAll.
+	// Default: GOMAXPROCS.
+	Workers int
+	// Store, when set, persists families across processes.
+	Store *DiskStore
+	// Run overrides the benchmark runner (test seam). Default: bench.Run.
+	Run RunFunc
+}
+
+// Stats are cumulative service counters.
+type Stats struct {
+	// Runs counts benchmark sweeps actually executed.
+	Runs int64
+	// MemoryHits counts requests served from the in-memory cache,
+	// including requests that waited on an in-flight run for their key.
+	MemoryHits int64
+	// DiskHits counts requests served from the on-disk store.
+	DiskHits int64
+	// Uncacheable counts requests that bypassed the cache entirely
+	// (custom Backend without a Tag).
+	Uncacheable int64
+}
+
+// Service is the concurrency-safe characterization cache. The zero value
+// is not usable; construct with New.
+type Service struct {
+	workers int
+	store   *DiskStore
+	run     RunFunc
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	runs, memHits, diskHits, uncacheable atomic.Int64
+}
+
+// entry is one cache slot: done closes when the first requester finishes,
+// after which fam/res/err/src are immutable. claimed hands the true source
+// (run or disk) to exactly one caller; everyone else reports a memory hit.
+type entry struct {
+	done    chan struct{}
+	fam     *core.Family  // canonical copy; cloned per caller
+	res     *bench.Result // nil when the entry was filled from disk
+	err     error
+	src     Source // how the filling requester obtained it
+	claimed atomic.Bool
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Run == nil {
+		cfg.Run = bench.Run
+	}
+	return &Service{
+		workers: cfg.Workers,
+		store:   cfg.Store,
+		run:     cfg.Run,
+		entries: map[Key]*entry{},
+	}
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Runs:        s.runs.Load(),
+		MemoryHits:  s.memHits.Load(),
+		DiskHits:    s.diskHits.Load(),
+		Uncacheable: s.uncacheable.Load(),
+	}
+}
+
+// Characterize returns the request's curve family, running the benchmark
+// at most once per key per process (and, with a disk store, at most once
+// ever for family-only requests). Safe for concurrent use.
+func (s *Service) Characterize(req Request) (*Artifact, error) {
+	if req.Options.Backend != nil && req.Tag == "" {
+		// A function-valued backend has no stable identity: simulate
+		// without touching the cache rather than risk aliasing.
+		s.uncacheable.Add(1)
+		res, err := s.runOnce(req)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{Family: res.Family, Result: res, Source: SourceRun}, nil
+	}
+
+	key := Fingerprint(req)
+	for {
+		s.mu.Lock()
+		e, ok := s.entries[key]
+		waited := ok
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			s.entries[key] = e
+			s.mu.Unlock()
+			s.fill(key, e, req)
+		} else {
+			s.mu.Unlock()
+			<-e.done
+		}
+		if e.err != nil {
+			// Errors are not cached: drop the entry so a later request
+			// can retry, then report the failure to this caller.
+			s.dropIf(key, e)
+			return nil, e.err
+		}
+		if req.NeedSamples && e.res == nil {
+			// The entry was satisfied from disk but this caller needs the
+			// raw samples: retire the family-only entry and loop to
+			// simulate (once) for the samples. Not a cache hit.
+			s.dropIf(key, e)
+			continue
+		}
+		if waited {
+			s.memHits.Add(1)
+		}
+		return entryArtifact(key, e, req.NeedSamples), nil
+	}
+}
+
+// Reset drops every completed and in-flight entry from the in-memory
+// cache (in-flight runs finish for their current waiters but will not be
+// re-served). Long-lived processes characterizing many distinct
+// configurations use this as the eviction escape hatch; the disk store,
+// being content-addressed, needs no invalidation.
+func (s *Service) Reset() {
+	s.mu.Lock()
+	s.entries = map[Key]*entry{}
+	s.mu.Unlock()
+}
+
+// fill executes the cache miss path for the entry it owns and publishes
+// the outcome by closing done.
+func (s *Service) fill(key Key, e *entry, req Request) {
+	defer close(e.done)
+	if s.store != nil && !req.NeedSamples {
+		fam, ok, err := s.store.Load(key)
+		if err == nil && ok {
+			s.diskHits.Add(1)
+			e.fam, e.src = fam, SourceDisk
+			return
+		}
+		// A corrupt or unreadable cache file falls through to simulation.
+	}
+	res, err := s.runOnce(req)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.fam, e.res, e.src = res.Family, res, SourceRun
+	if s.store != nil {
+		// Persistence is best-effort: a read-only cache directory must
+		// not fail the characterization itself.
+		_ = s.store.Save(key, res.Family)
+	}
+}
+
+func (s *Service) runOnce(req Request) (*bench.Result, error) {
+	s.runs.Add(1)
+	return s.run(req.Spec, req.Options)
+}
+
+// dropIf removes the entry from the cache if it is still the resident one.
+func (s *Service) dropIf(key Key, e *entry) {
+	s.mu.Lock()
+	if s.entries[key] == e {
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+}
+
+// entryArtifact clones the entry for one caller. Exactly one caller (the
+// first to claim) reports the true SourceRun/SourceDisk; everyone after
+// sees SourceMemory. The raw-sample Result is copied only for callers
+// that asked for it — family-only hits (the common case in experiment
+// sweeps) skip the O(samples) copy.
+func entryArtifact(key Key, e *entry, needSamples bool) *Artifact {
+	src := SourceMemory
+	if e.claimed.CompareAndSwap(false, true) {
+		src = e.src
+	}
+	art := &Artifact{Key: key, Family: e.fam.Clone(), Source: src}
+	if needSamples && e.res != nil {
+		res := *e.res
+		res.Family = art.Family
+		res.Samples = append([]bench.Sample(nil), e.res.Samples...)
+		art.Result = &res
+	}
+	return art
+}
+
+// CharacterizeAll resolves a batch of requests over a bounded worker pool
+// (Config.Workers). Artifacts are returned in request order; a nil slot
+// marks a failed request, and the joined error reports every failure.
+// Duplicate keys inside one batch still simulate only once: the pool fans
+// out, the singleflight layer fans back in.
+func (s *Service) CharacterizeAll(reqs []Request) ([]*Artifact, error) {
+	arts := make([]*Artifact, len(reqs))
+	errs := make([]error, len(reqs))
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			art, err := s.Characterize(reqs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("charz: %s: %w", reqs[i].Spec.Name, err)
+				return
+			}
+			arts[i] = art
+		}(i)
+	}
+	wg.Wait()
+	return arts, errors.Join(errs...)
+}

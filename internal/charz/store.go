@@ -1,0 +1,74 @@
+package charz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mess-sim/mess/internal/core"
+)
+
+// DiskStore persists curve families under a cache directory, one file per
+// key in the release CSV format (core.Family.WriteCSV / core.ReadCSV), so
+// cached curves stay loadable by the standalone tools and by the upstream
+// Mess simulator release format alike. File names are the hex key, making
+// the store content-addressed: a stale file cannot be served for a changed
+// configuration, because the changed configuration hashes elsewhere.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) a store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("charz: creating cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// Path reports where the family for key lives (whether or not it exists).
+func (d *DiskStore) Path(key Key) string {
+	return filepath.Join(d.dir, key.String()+".csv")
+}
+
+// Load reads the family for key. ok is false when the key is absent; a
+// present but unparsable file is an error.
+func (d *DiskStore) Load(key Key) (fam *core.Family, ok bool, err error) {
+	f, err := os.Open(d.Path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("charz: opening cached curves: %w", err)
+	}
+	defer f.Close()
+	fam, err = core.ReadCSV(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("charz: parsing cached curves %s: %w", d.Path(key), err)
+	}
+	return fam, true, nil
+}
+
+// Save writes the family for key atomically (temp file + rename), so a
+// crashed or concurrent writer never leaves a torn CSV for readers.
+func (d *DiskStore) Save(key Key, fam *core.Family) error {
+	tmp, err := os.CreateTemp(d.dir, "."+key.Short()+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("charz: creating cache temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := fam.WriteCSV(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("charz: writing cached curves: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), d.Path(key)); err != nil {
+		return fmt.Errorf("charz: installing cached curves: %w", err)
+	}
+	return nil
+}

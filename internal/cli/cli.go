@@ -1,0 +1,91 @@
+// Package cli collects the small pieces every cmd/* binary previously
+// duplicated: fatal-error reporting, platform lookup and scale parsing,
+// and construction of a characterization service from the shared
+// -cache-dir flag convention.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/exp"
+	"github.com/mess-sim/mess/internal/platform"
+)
+
+// prog is the invoked binary's base name, used as the error prefix.
+func prog() string {
+	if len(os.Args) == 0 || os.Args[0] == "" {
+		return "mess"
+	}
+	return filepath.Base(os.Args[0])
+}
+
+// Fatal prints "<prog>: err" to stderr and exits 1.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, prog()+":", err)
+	os.Exit(1)
+}
+
+// Fatalf formats and exits like Fatal.
+func Fatalf(format string, args ...any) {
+	Fatal(fmt.Errorf(format, args...))
+}
+
+// MustPlatform resolves a platform by display name or exits with the list
+// of valid names.
+func MustPlatform(name string) platform.Spec {
+	spec, err := platform.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog()+":", err)
+		fmt.Fprintln(os.Stderr, "available platforms:")
+		for _, p := range platform.All() {
+			fmt.Fprintln(os.Stderr, "  "+p.Name)
+		}
+		os.Exit(1)
+	}
+	return spec
+}
+
+// ParseScale maps the -scale flag convention to an experiment scale.
+func ParseScale(name string) (exp.Scale, error) {
+	switch name {
+	case "quick":
+		return exp.Quick, nil
+	case "full":
+		return exp.Full, nil
+	}
+	return exp.Quick, fmt.Errorf("unknown scale %q (want quick or full)", name)
+}
+
+// MustScale parses the scale or exits.
+func MustScale(name string) exp.Scale {
+	s, err := ParseScale(name)
+	if err != nil {
+		Fatal(err)
+	}
+	return s
+}
+
+// Service builds a characterization service honouring the shared
+// -cache-dir flag: empty means in-memory only, otherwise curve families
+// persist under dir and later invocations skip re-simulation.
+func Service(cacheDir string) *charz.Service {
+	var store *charz.DiskStore
+	if cacheDir != "" {
+		var err error
+		store, err = charz.NewDiskStore(cacheDir)
+		if err != nil {
+			Fatal(err)
+		}
+	}
+	return charz.New(charz.Config{Store: store})
+}
+
+// PrintStats writes a one-line cache summary for verbose tool output.
+func PrintStats(s *charz.Service) {
+	st := s.Stats()
+	fmt.Printf("characterizations: %d simulated, %d memory hits, %d disk hits\n",
+		st.Runs, st.MemoryHits, st.DiskHits)
+}

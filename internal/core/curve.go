@@ -219,6 +219,23 @@ type Family struct {
 	Curves        []Curve // sorted by ReadRatio ascending
 }
 
+// Clone returns a deep copy of the family. Cached families are shared
+// between callers that relabel and resort them independently, so every
+// cache hit hands out a clone.
+func (f *Family) Clone() *Family {
+	if f == nil {
+		return nil
+	}
+	out := &Family{Label: f.Label, TheoreticalBW: f.TheoreticalBW}
+	if f.Curves != nil {
+		out.Curves = make([]Curve, len(f.Curves))
+		for i, c := range f.Curves {
+			out.Curves[i] = Curve{ReadRatio: c.ReadRatio, Points: append([]Point(nil), c.Points...)}
+		}
+	}
+	return out
+}
+
 // Validate checks every curve and the ratio ordering.
 func (f *Family) Validate() error {
 	if len(f.Curves) == 0 {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/core"
 	"github.com/mess-sim/mess/internal/cxl"
 	"github.com/mess-sim/mess/internal/mem"
@@ -77,8 +77,8 @@ func remoteFamily(s Scale) *core.Family {
 	return f
 }
 
-func runFig14(s Scale) (*Result, error) {
-	manufacturer := cxlFamily(s)
+func runFig14(env *Env) (*Result, error) {
+	manufacturer := cxlFamily(env.Scale)
 
 	r := &Result{
 		ID: "fig14", Paper: "Fig. 14",
@@ -92,27 +92,30 @@ func runFig14(s Scale) (*Result, error) {
 
 	hosts := []platform.Spec{
 		platform.OpenPitonAriane(),
-		scaleSpec(platform.Gem5Graviton3(), s),
-		scaleSpec(platform.ZSimSkylake(), s),
+		scaleSpec(platform.Gem5Graviton3(), env.Scale),
+		scaleSpec(platform.ZSimSkylake(), env.Scale),
 	}
 	for _, host := range hosts {
 		host := host
-		opt := benchOptions(s)
+		opt := benchOptions(env.Scale)
 		opt.Backend = func(eng *sim.Engine) mem.Backend {
 			return messsim.New(eng, messsim.Config{
 				Family:       manufacturer,
 				CPULatencyNs: host.OnChipLatency.Nanoseconds(),
 			})
 		}
-		res, err := bench.Run(host, opt)
+		// The manufacturer family is a pure function of the scale, which
+		// the options already encode, so the tag is a stable identity.
+		art, err := env.Charz.Characterize(charz.Request{Spec: host, Options: opt, Tag: "messsim:cxl"})
 		if err != nil {
 			return nil, err
 		}
-		res.Family.Label = host.Name + " + Mess (CXL curves)"
-		res.Family.TheoreticalBW = manufacturer.TheoreticalBW
-		m := res.Family.Metrics()
-		r.Families = append(r.Families, res.Family)
-		r.Rows = append(r.Rows, []string{res.Family.Label,
+		fam := art.Family
+		fam.Label = host.Name + " + Mess (CXL curves)"
+		fam.TheoreticalBW = manufacturer.TheoreticalBW
+		m := fam.Metrics()
+		r.Families = append(r.Families, fam)
+		r.Rows = append(r.Rows, []string{fam.Label,
 			fmt.Sprintf("%.1f", m.SatBWHighGBs), fmt.Sprintf("%.0f", m.MaxLatencyMaxNs)})
 	}
 	r.Notes = append(r.Notes,
@@ -156,7 +159,8 @@ func runCXLvsRemote(b workloads.SpecBenchmark, host platform.Spec, s Scale) (cxl
 	return ipcs[0], ipcs[1], util, nil
 }
 
-func runFig17(s Scale) (*Result, error) {
+func runFig17(env *Env) (*Result, error) {
+	s := env.Scale
 	host := scaleSpec(platform.ZSimSkylake(), s)
 	suite := workloads.SpecSuite()
 	var perl, lbm *workloads.SpecBenchmark
@@ -189,7 +193,8 @@ func runFig17(s Scale) (*Result, error) {
 	return r, nil
 }
 
-func runFig18(s Scale) (*Result, error) {
+func runFig18(env *Env) (*Result, error) {
+	s := env.Scale
 	host := scaleSpec(platform.ZSimSkylake(), s)
 	suite := workloads.SpecSuite()
 	if s == Quick {

@@ -10,9 +10,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/core"
 	"github.com/mess-sim/mess/internal/platform"
 	"github.com/mess-sim/mess/internal/plot"
@@ -66,6 +66,10 @@ func (r *Result) Render(w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	for _, f := range r.Families {
+		if !plot.Drawable(f) {
+			fmt.Fprintf(w, "(family %q has no drawable points at this scale)\n\n", f.Label)
+			continue
+		}
 		if err := plot.CurveFamily(w, f, 72, 20); err != nil {
 			return err
 		}
@@ -92,12 +96,60 @@ func (r *Result) Render(w io.Writer) error {
 	return nil
 }
 
+// Env is the execution environment threaded through every experiment: the
+// fidelity scale plus the shared characterization service. One Env driving
+// a whole registry run (messexp -run all) performs each unique
+// characterization exactly once — the service's content-addressed keys
+// dedupe across experiments, not just within one.
+type Env struct {
+	Scale Scale
+	Charz *charz.Service
+}
+
+// NewEnv builds an environment. A nil service gets a fresh in-memory one,
+// so standalone experiment runs still dedupe internally.
+func NewEnv(s Scale, svc *charz.Service) *Env {
+	if svc == nil {
+		svc = charz.New(charz.Config{})
+	}
+	return &Env{Scale: s, Charz: svc}
+}
+
+// reference returns the platform's measured reference family — the curves
+// of the detailed DRAM model standing in for "actual hardware" — via the
+// characterization service (cached, deduplicated across experiments).
+func (env *Env) reference(spec platform.Spec) (*core.Family, error) {
+	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: benchOptions(env.Scale)})
+	if err != nil {
+		return nil, err
+	}
+	return art.Family, nil
+}
+
+// referenceAll resolves the reference families of several platforms
+// concurrently through the service's bounded worker pool.
+func (env *Env) referenceAll(specs []platform.Spec) ([]*core.Family, error) {
+	reqs := make([]charz.Request, len(specs))
+	for i, spec := range specs {
+		reqs[i] = charz.Request{Spec: spec, Options: benchOptions(env.Scale)}
+	}
+	arts, err := env.Charz.CharacterizeAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	fams := make([]*core.Family, len(arts))
+	for i, art := range arts {
+		fams[i] = art.Family
+	}
+	return fams, nil
+}
+
 // Experiment is a registered reproduction target.
 type Experiment struct {
 	ID    string
 	Paper string // the table/figure it reproduces
 	Title string
-	Run   func(s Scale) (*Result, error)
+	Run   func(env *Env) (*Result, error)
 }
 
 var registry []Experiment
@@ -177,38 +229,6 @@ func benchOptions(s Scale) bench.Options {
 		Warmup:  20 * sim.Microsecond,
 		Measure: 50 * sim.Microsecond,
 	}
-}
-
-// famKey caches measured reference families, which several experiments
-// share (Figs. 10–13 all need the platform's measured curves).
-type famKey struct {
-	name  string
-	scale Scale
-}
-
-var (
-	famMu    sync.Mutex
-	famCache = map[famKey]*core.Family{}
-)
-
-// referenceFamily measures (or returns cached) curves of the platform's
-// detailed DRAM model — the stand-in for "measured on actual hardware".
-func referenceFamily(spec platform.Spec, s Scale) (*core.Family, error) {
-	key := famKey{spec.Name, s}
-	famMu.Lock()
-	if f, ok := famCache[key]; ok {
-		famMu.Unlock()
-		return f, nil
-	}
-	famMu.Unlock()
-	res, err := bench.Run(spec, benchOptions(s))
-	if err != nil {
-		return nil, err
-	}
-	famMu.Lock()
-	famCache[key] = res.Family
-	famMu.Unlock()
-	return res.Family, nil
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }

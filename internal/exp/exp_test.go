@@ -4,8 +4,19 @@ import (
 	"bytes"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/platform"
 )
+
+// testEnv is shared by every test in the binary, so reference families
+// measured once (Skylake, ZSim Skylake, …) serve all experiments — the
+// same sharing messexp -run all gets from one service.
+var testEnv = NewEnv(Quick, nil)
 
 func runExp(t *testing.T, id string) *Result {
 	t.Helper()
@@ -13,7 +24,7 @@ func runExp(t *testing.T, id string) *Result {
 	if !ok {
 		t.Fatalf("experiment %q not registered", id)
 	}
-	res, err := e.Run(Quick)
+	res, err := e.Run(testEnv)
 	if err != nil {
 		t.Fatalf("%s failed: %v", id, err)
 	}
@@ -40,6 +51,47 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(All()) < len(want) {
 		t.Fatalf("registry has %d experiments, want ≥ %d", len(All()), len(want))
+	}
+}
+
+// TestSharedServiceDedupes drives two experiments that both need the
+// scaled-Skylake reference curves through one Env with a counting runner
+// and asserts the underlying benchmark executed once per unique key — the
+// messexp -run all guarantee, in miniature.
+func TestSharedServiceDedupes(t *testing.T) {
+	var calls atomic.Int64
+	var mu sync.Mutex
+	keys := map[string]int{}
+	run := func(spec platform.Spec, opt bench.Options) (*bench.Result, error) {
+		calls.Add(1)
+		mu.Lock()
+		keys[charz.Fingerprint(charz.Request{Spec: spec, Options: opt}).String()]++
+		mu.Unlock()
+		return bench.Run(spec, opt)
+	}
+	env := NewEnv(Quick, charz.New(charz.Config{Run: run}))
+
+	for _, id := range []string{"fig2", "fig3a", "fig2"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		if _, err := e.Run(env); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	// fig2 and fig3a both characterize the scaled Skylake: one run total.
+	if got := calls.Load(); got != 1 {
+		t.Errorf("benchmark ran %d times across fig2+fig3a+fig2, want 1", got)
+	}
+	for k, n := range keys {
+		if n > 1 {
+			t.Errorf("key %s simulated %d times, want at most once", k[:12], n)
+		}
+	}
+	stats := env.Charz.Stats()
+	if stats.MemoryHits < 2 {
+		t.Errorf("stats = %+v, want ≥2 memory hits", stats)
 	}
 }
 

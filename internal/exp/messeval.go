@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/core"
 	"github.com/mess-sim/mess/internal/dram"
 	"github.com/mess-sim/mess/internal/mem"
@@ -45,9 +45,11 @@ func init() {
 }
 
 // messFamily runs the Mess benchmark with the Mess analytical simulator as
-// the backend, fed with the platform's measured reference curves.
-func messFamily(spec platform.Spec, ref *core.Family, s Scale) (*core.Family, error) {
-	opt := benchOptions(s)
+// the backend, fed with the platform's measured reference curves. The
+// reference family is itself a pure function of (spec, scale options), so
+// the model tag suffices for a stable cache identity.
+func messFamily(env *Env, spec platform.Spec, ref *core.Family) (*core.Family, error) {
+	opt := benchOptions(env.Scale)
 	opt.Backend = func(eng *sim.Engine) mem.Backend {
 		m, err := memmodel.New(memmodel.KindMess, eng, spec, ref)
 		if err != nil {
@@ -55,12 +57,12 @@ func messFamily(spec platform.Spec, ref *core.Family, s Scale) (*core.Family, er
 		}
 		return m
 	}
-	res, err := bench.Run(spec, opt)
+	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: opt, Tag: "model:" + string(memmodel.KindMess)})
 	if err != nil {
 		return nil, err
 	}
-	res.Family.Label = spec.Name + " + Mess simulator"
-	return res.Family, nil
+	art.Family.Label = spec.Name + " + Mess simulator"
+	return art.Family, nil
 }
 
 // familyAgreement quantifies how closely a simulated family matches the
@@ -91,9 +93,9 @@ func familyAgreement(ref, got *core.Family) float64 {
 	return errSum / float64(n)
 }
 
-func runFig10(s Scale) (*Result, error) {
-	variants := []platform.Spec{scaleSpec(platform.ZSimSkylake(), s)}
-	if s == Full {
+func runFig10(env *Env) (*Result, error) {
+	variants := []platform.Spec{scaleSpec(platform.ZSimSkylake(), env.Scale)}
+	if env.Scale == Full {
 		// The paper's DDR5 (58 cores) and HBM2 (192 cores) ZSim scale-ups.
 		ddr5 := platform.ZSimSkylake()
 		ddr5.Name = "ZSim 58 cores, 8×DDR5-4800"
@@ -116,11 +118,11 @@ func runFig10(s Scale) (*Result, error) {
 		Header: []string{"memory system", "curve agreement (mean rel. latency error)"},
 	}
 	for _, spec := range variants {
-		ref, err := referenceFamily(spec, s)
+		ref, err := env.reference(spec)
 		if err != nil {
 			return nil, err
 		}
-		got, err := messFamily(spec, ref, s)
+		got, err := messFamily(env, spec, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -135,13 +137,13 @@ func runFig10(s Scale) (*Result, error) {
 
 // ipcErrors runs the evaluation suite on the reference and each model and
 // reports the per-benchmark absolute IPC error plus averages.
-func ipcErrors(spec platform.Spec, kinds []memmodel.Kind, s Scale) (*Result, error) {
+func ipcErrors(env *Env, spec platform.Spec, kinds []memmodel.Kind) (*Result, error) {
 	wopt := workloads.Options{}
-	if s == Quick {
+	if env.Scale == Quick {
 		wopt.Warmup = 5 * sim.Microsecond
 		wopt.Measure = 20 * sim.Microsecond
 	}
-	ref, err := referenceFamily(spec, s)
+	ref, err := env.reference(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -188,13 +190,13 @@ func ipcErrors(spec platform.Spec, kinds []memmodel.Kind, s Scale) (*Result, err
 	return r, nil
 }
 
-func runFig11(s Scale) (*Result, error) {
-	spec := scaleSpec(platform.ZSimSkylake(), s)
+func runFig11(env *Env) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), env.Scale)
 	kinds := []memmodel.Kind{
 		memmodel.KindFixed, memmodel.KindMD1, memmodel.KindInternalDDR,
 		memmodel.KindDRAMsim3, memmodel.KindRamulator, memmodel.KindMess,
 	}
-	r, err := ipcErrors(spec, kinds, s)
+	r, err := ipcErrors(env, spec, kinds)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +207,7 @@ func runFig11(s Scale) (*Result, error) {
 	return r, nil
 }
 
-func runFig12(s Scale) (*Result, error) {
+func runFig12(env *Env) (*Result, error) {
 	// 16 cores on a single DDR5-4800 channel / single HBM2 channel.
 	// The gem5 Neoverse cores have moderate memory-level parallelism; with
 	// a single channel, CPU-class MSHR depths would pin the system so deep
@@ -234,11 +236,11 @@ func runFig12(s Scale) (*Result, error) {
 		Header: []string{"memory system", "curve agreement (mean rel. latency error)"},
 	}
 	for _, spec := range []platform.Spec{ddr5, hbm} {
-		ref, err := referenceFamily(spec, s)
+		ref, err := env.reference(spec)
 		if err != nil {
 			return nil, err
 		}
-		got, err := messFamily(spec, ref, s)
+		got, err := messFamily(env, spec, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -250,13 +252,13 @@ func runFig12(s Scale) (*Result, error) {
 	return r, nil
 }
 
-func runFig13(s Scale) (*Result, error) {
-	spec := scaleSpec(platform.Gem5Graviton3(), s)
+func runFig13(env *Env) (*Result, error) {
+	spec := scaleSpec(platform.Gem5Graviton3(), env.Scale)
 	kinds := []memmodel.Kind{
 		memmodel.KindFixed, memmodel.KindInternalDDR,
 		memmodel.KindRamulator2, memmodel.KindMess,
 	}
-	r, err := ipcErrors(spec, kinds, s)
+	r, err := ipcErrors(env, spec, kinds)
 	if err != nil {
 		return nil, err
 	}

@@ -29,9 +29,9 @@ func init() {
 
 // hpcgProfile runs the HPCG proxy with the window sampler and analyzes it
 // against the platform's reference curves.
-func hpcgProfile(s Scale) (*profile.Profile, []workloads.PhaseEvent, platform.Spec, error) {
-	spec := scaleSpec(platform.CascadeLake(), s)
-	fam, err := referenceFamily(spec, s)
+func hpcgProfile(env *Env) (*profile.Profile, []workloads.PhaseEvent, platform.Spec, error) {
+	spec := scaleSpec(platform.CascadeLake(), env.Scale)
+	fam, err := env.reference(spec)
 	if err != nil {
 		return nil, nil, spec, err
 	}
@@ -40,7 +40,7 @@ func hpcgProfile(s Scale) (*profile.Profile, []workloads.PhaseEvent, platform.Sp
 	sampler := profile.NewSampler(app.Eng, app.Counting, 10*sim.Microsecond)
 	sampler.Start()
 	dur := 2 * sim.Millisecond // several HPCG iterations
-	if s == Quick {
+	if env.Scale == Quick {
 		dur = 700 * sim.Microsecond
 	}
 	app.Run(dur)
@@ -54,8 +54,8 @@ func hpcgProfile(s Scale) (*profile.Profile, []workloads.PhaseEvent, platform.Sp
 	return p, app.Events(), spec, nil
 }
 
-func runFig15(s Scale) (*Result, error) {
-	p, _, spec, err := hpcgProfile(s)
+func runFig15(env *Env) (*Result, error) {
+	p, _, spec, err := hpcgProfile(env)
 	if err != nil {
 		return nil, err
 	}
@@ -81,8 +81,8 @@ func runFig15(s Scale) (*Result, error) {
 	return r, nil
 }
 
-func runFig16(s Scale) (*Result, error) {
-	p, events, spec, err := hpcgProfile(s)
+func runFig16(env *Env) (*Result, error) {
+	p, events, spec, err := hpcgProfile(env)
 	if err != nil {
 		return nil, err
 	}

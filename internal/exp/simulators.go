@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/core"
 	"github.com/mess-sim/mess/internal/dram"
 	"github.com/mess-sim/mess/internal/mem"
@@ -44,9 +45,10 @@ func init() {
 }
 
 // modelFamily runs the Mess benchmark over the given memory model under
-// the platform's unchanged CPU side.
-func modelFamily(spec platform.Spec, kind memmodel.Kind, s Scale) (*core.Family, error) {
-	opt := benchOptions(s)
+// the platform's unchanged CPU side. The model backend is deterministic
+// given the spec, so the kind tag makes the run cacheable.
+func modelFamily(env *Env, spec platform.Spec, kind memmodel.Kind) (*core.Family, error) {
+	opt := benchOptions(env.Scale)
 	opt.Backend = func(eng *sim.Engine) mem.Backend {
 		m, err := memmodel.New(kind, eng, spec, nil)
 		if err != nil {
@@ -54,17 +56,17 @@ func modelFamily(spec platform.Spec, kind memmodel.Kind, s Scale) (*core.Family,
 		}
 		return m
 	}
-	res, err := bench.Run(spec, opt)
+	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: opt, Tag: "model:" + string(kind)})
 	if err != nil {
 		return nil, err
 	}
-	res.Family.Label = spec.Name + " + " + string(kind)
-	return res.Family, nil
+	art.Family.Label = spec.Name + " + " + string(kind)
+	return art.Family, nil
 }
 
-func runFig4(s Scale) (*Result, error) {
-	spec := scaleSpec(platform.Gem5Graviton3(), s)
-	actual, err := referenceFamily(spec, s)
+func runFig4(env *Env) (*Result, error) {
+	spec := scaleSpec(platform.Gem5Graviton3(), env.Scale)
+	actual, err := env.reference(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +90,7 @@ func runFig4(s Scale) (*Result, error) {
 	}
 	addRow(actual)
 	for _, kind := range []memmodel.Kind{memmodel.KindFixed, memmodel.KindInternalDDR, memmodel.KindRamulator2} {
-		f, err := modelFamily(spec, kind, s)
+		f, err := modelFamily(env, spec, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -100,9 +102,9 @@ func runFig4(s Scale) (*Result, error) {
 	return r, nil
 }
 
-func runFig5(s Scale) (*Result, error) {
-	spec := scaleSpec(platform.ZSimSkylake(), s)
-	actual, err := referenceFamily(spec, s)
+func runFig5(env *Env) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), env.Scale)
+	actual, err := env.reference(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +130,7 @@ func runFig5(s Scale) (*Result, error) {
 		memmodel.KindDRAMsim3, memmodel.KindRamulator,
 	}
 	for _, kind := range kinds {
-		f, err := modelFamily(spec, kind, s)
+		f, err := modelFamily(env, spec, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -142,9 +144,9 @@ func runFig5(s Scale) (*Result, error) {
 
 // runFig6 captures traces from the reference platform at each sweep point
 // and replays them into the standalone cycle-accurate replicas.
-func runFig6(s Scale) (*Result, error) {
-	skl := scaleSpec(platform.ZSimSkylake(), s)
-	g3 := scaleSpec(platform.Gem5Graviton3(), s)
+func runFig6(env *Env) (*Result, error) {
+	skl := scaleSpec(platform.ZSimSkylake(), env.Scale)
+	g3 := scaleSpec(platform.Gem5Graviton3(), env.Scale)
 
 	r := &Result{
 		ID: "fig6", Paper: "Fig. 6",
@@ -164,7 +166,7 @@ func runFig6(s Scale) (*Result, error) {
 	}
 
 	for _, tgt := range targets {
-		fam, actualMax, err := traceDrivenFamily(tgt.spec, tgt.mk, s)
+		fam, actualMax, err := traceDrivenFamily(env, tgt.spec, tgt.mk)
 		if err != nil {
 			return nil, err
 		}
@@ -183,14 +185,16 @@ func runFig6(s Scale) (*Result, error) {
 }
 
 // traceDrivenFamily captures per-point traces on the reference platform and
-// replays each into a fresh standalone model instance.
-func traceDrivenFamily(spec platform.Spec, mk func(eng *sim.Engine) mem.Backend, s Scale) (*core.Family, float64, error) {
-	opt := benchOptions(s)
-	if s == Full {
+// replays each into a fresh standalone model instance. Capture runs stay on
+// bench.Run directly: the capturing backend accumulates state per run, so a
+// cached replay would be meaningless.
+func traceDrivenFamily(env *Env, spec platform.Spec, mk func(eng *sim.Engine) mem.Backend) (*core.Family, float64, error) {
+	opt := benchOptions(env.Scale)
+	if env.Scale == Full {
 		// Trace capture is memory-hungry; thin the pacing ladder.
 		opt.PacesNs = []float64{0, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 	}
-	actual, err := referenceFamily(spec, s)
+	actual, err := env.reference(spec)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -248,9 +252,9 @@ func captureTrace(spec platform.Spec, opt bench.Options, mix bench.Mix, paceNs f
 	return &cap.T, nil
 }
 
-func runFig7(s Scale) (*Result, error) {
-	spec := scaleSpec(platform.ZSimSkylake(), s)
-	opt := benchOptions(s)
+func runFig7(env *Env) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), env.Scale)
+	opt := benchOptions(env.Scale)
 	opt.Mixes = []bench.Mix{{StorePercent: 0}, {StorePercent: 100}}
 
 	r := &Result{
@@ -259,14 +263,14 @@ func runFig7(s Scale) (*Result, error) {
 		Header: []string{"system", "traffic", "BW [GB/s]", "hit", "empty", "miss"},
 	}
 
-	run := func(name string, backend mem.BackendFactory) error {
+	run := func(name, tag string, backend mem.BackendFactory) error {
 		o := opt
 		o.Backend = backend
-		res, err := bench.Run(spec, o)
+		art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: o, Tag: tag, NeedSamples: true})
 		if err != nil {
 			return err
 		}
-		for _, sm := range res.Samples {
+		for _, sm := range art.Result.Samples {
 			traffic := "100% read"
 			if sm.Mix.StorePercent == 100 {
 				traffic = "50/50 read/write"
@@ -277,13 +281,13 @@ func runFig7(s Scale) (*Result, error) {
 		}
 		return nil
 	}
-	if err := run("actual (reference)", nil); err != nil {
+	if err := run("actual (reference)", "", nil); err != nil {
 		return nil, err
 	}
-	if err := run("DRAMsim3", func(eng *sim.Engine) mem.Backend { return memmodel.NewDRAMsim3Like(eng, spec) }); err != nil {
+	if err := run("DRAMsim3", "replica:dramsim3", func(eng *sim.Engine) mem.Backend { return memmodel.NewDRAMsim3Like(eng, spec) }); err != nil {
 		return nil, err
 	}
-	if err := run("Ramulator", func(eng *sim.Engine) mem.Backend { return memmodel.NewRamulatorLike(eng, spec) }); err != nil {
+	if err := run("Ramulator", "replica:ramulator", func(eng *sim.Engine) mem.Backend { return memmodel.NewRamulatorLike(eng, spec) }); err != nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,

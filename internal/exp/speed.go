@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/memmodel"
 	"github.com/mess-sim/mess/internal/platform"
@@ -31,9 +32,12 @@ func init() {
 // runTableSpeed times identical simulated workloads through each model and
 // reports wall-clock ratios. The detailed reference model plays the role of
 // the cycle-accurate simulators in the paper's 13–15× speed-up claim.
-func runTableSpeed(s Scale) (*Result, error) {
-	spec := scaleSpec(platform.ZSimSkylake(), s)
-	ref, err := referenceFamily(spec, s)
+// Only the reference curves come from the characterization service — the
+// timed sweeps below must execute every time, because their wall-clock
+// cost IS the measurement; serving them from cache would report zero.
+func runTableSpeed(env *Env) (*Result, error) {
+	spec := scaleSpec(platform.ZSimSkylake(), env.Scale)
+	ref, err := env.reference(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +48,7 @@ func runTableSpeed(s Scale) (*Result, error) {
 		Measure:     25 * sim.Microsecond,
 		Parallelism: 1,
 	}
-	if s == Full {
+	if env.Scale == Full {
 		opt.Measure = 100 * sim.Microsecond
 	}
 
@@ -103,24 +107,29 @@ func runTableSpeed(s Scale) (*Result, error) {
 // runOpenPitonBug reproduces the Sec. IV-C discovery: holistic Mess
 // characterization exposes a coherency bug as write traffic that the
 // executed kernel mix cannot explain.
-func runOpenPitonBug(s Scale) (*Result, error) {
+func runOpenPitonBug(env *Env) (*Result, error) {
 	spec := platform.OpenPitonAriane()
-	opt := benchOptions(s)
+	opt := benchOptions(env.Scale)
 	opt.Mixes = []bench.Mix{{StorePercent: 0}, {StorePercent: 40}}
 	opt.PacesNs = []float64{0, 16, 128}
 
-	healthy, err := bench.Run(spec, opt)
+	// Both runs need raw samples (per-point read ratios); the cache
+	// override is part of the fingerprint, so healthy and bugged
+	// characterizations occupy distinct cache slots.
+	healthyArt, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: opt, NeedSamples: true})
 	if err != nil {
 		return nil, err
 	}
+	healthy := healthyArt.Result
 	buggedCfg := spec.CacheConfig()
 	buggedCfg.EvictCleanAsDirty = true
 	optBug := opt
 	optBug.Cache = &buggedCfg
-	bugged, err := bench.Run(spec, optBug)
+	buggedArt, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: optBug, NeedSamples: true})
 	if err != nil {
 		return nil, err
 	}
+	bugged := buggedArt.Result
 
 	r := &Result{
 		ID: "openpiton-bug", Paper: "Sec. IV-C",

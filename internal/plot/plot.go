@@ -16,6 +16,29 @@ import (
 // glyphs assigned to curves in ratio order.
 var glyphs = []byte{'o', '+', 'x', '*', '#', '@', '%', '&', '=', '~', '^', '"'}
 
+func familyRange(f *core.Family) (maxBW, maxLat float64) {
+	maxBW = f.TheoreticalBW
+	for _, c := range f.Curves {
+		if m := c.MaxBW(); m > maxBW {
+			maxBW = m
+		}
+		if m := c.MaxLatency(); m > maxLat {
+			maxLat = m
+		}
+	}
+	return maxBW, maxLat
+}
+
+// Drawable reports whether the family spans a positive bandwidth–latency
+// range, i.e. whether CurveFamily can render it. Degenerate families occur
+// legitimately — e.g. a trace-driven replay at quick scale may yield too
+// few valid points — and callers rendering many families should skip them
+// rather than abort.
+func Drawable(f *core.Family) bool {
+	maxBW, maxLat := familyRange(f)
+	return maxBW > 0 && maxLat > 0
+}
+
 // CurveFamily renders the family as a scatter chart: x = bandwidth,
 // y = latency, one glyph per curve (read ratio descending, like the
 // paper's shades of blue).
@@ -27,16 +50,7 @@ func CurveFamily(w io.Writer, f *core.Family, width, height int) error {
 	if height < 10 {
 		height = 10
 	}
-	maxBW := f.TheoreticalBW
-	maxLat := 0.0
-	for _, c := range f.Curves {
-		if m := c.MaxBW(); m > maxBW {
-			maxBW = m
-		}
-		if m := c.MaxLatency(); m > maxLat {
-			maxLat = m
-		}
-	}
+	maxBW, maxLat := familyRange(f)
 	if maxBW <= 0 || maxLat <= 0 {
 		return fmt.Errorf("plot: family %q has no drawable range", f.Label)
 	}

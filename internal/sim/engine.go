@@ -35,16 +35,22 @@ func FromNanoseconds(ns float64) Time { return Time(ns*float64(Nanosecond) + 0.5
 // Event is a scheduled callback. The callback runs exactly once, at the
 // event's deadline, with the engine's clock set to that deadline.
 type Event struct {
-	at   Time
-	seq  uint64 // tie-break so equal-time events run in schedule order
-	fn   func()
-	idx  int // heap index, -1 when not queued
-	dead bool
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+	idx int // heap index, -1 when not queued
+	eng *Engine
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.dead = true }
+// Cancel removes a pending event from the engine's queue in O(log n).
+// Cancelling an event that has already fired or was already cancelled is a
+// no-op.
+func (e *Event) Cancel() {
+	if e.eng == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&e.eng.queue, e.idx)
+}
 
 // Engine is a single-threaded discrete-event scheduler. It is intentionally
 // not safe for concurrent use: every simulation instance owns one engine and
@@ -71,7 +77,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -80,22 +86,20 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 // After queues fn to run d picoseconds from now.
 func (e *Engine) After(d Time, fn func()) *Event { return e.Schedule(e.now+d, fn) }
 
-// Pending reports the number of queued (possibly cancelled) events.
+// Pending reports the number of live queued events. Cancelled events are
+// removed from the queue immediately, so they never count here.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Step runs the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.nsteps++
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -108,12 +112,7 @@ func (e *Engine) Run() {
 // Events scheduled exactly at t do run.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > t {
+		if e.queue[0].at > t {
 			break
 		}
 		e.Step()

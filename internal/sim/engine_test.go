@@ -133,3 +133,93 @@ func TestStepsCounts(t *testing.T) {
 		t.Fatalf("Steps = %d, want 17", e.Steps())
 	}
 }
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := New()
+	ev := e.Schedule(10, func() { t.Fatal("cancelled event fired") })
+	e.Schedule(20, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (cancelled events must leave the heap)", e.Pending())
+	}
+	ev.Cancel() // idempotent
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after double cancel = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", e.Steps())
+	}
+}
+
+func TestCancelFiredEventNoOp(t *testing.T) {
+	e := New()
+	ev := e.Schedule(5, func() {})
+	e.Schedule(10, func() {})
+	e.Run()
+	ev.Cancel() // already fired: must not disturb the (empty) queue
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelMidHeapPreservesOrder(t *testing.T) {
+	e := New()
+	var order []Time
+	var evs []*Event
+	for i := Time(1); i <= 50; i++ {
+		i := i
+		evs = append(evs, e.Schedule(i, func() { order = append(order, i) }))
+	}
+	// Cancel every third event, including interior heap positions.
+	for i := 0; i < len(evs); i += 3 {
+		evs[i].Cancel()
+	}
+	e.Run()
+	want := 0
+	for i := Time(1); i <= 50; i++ {
+		if (i-1)%3 == 0 {
+			continue
+		}
+		if order[want] != i {
+			t.Fatalf("event %d fired out of order: got %v", i, order[:want+1])
+		}
+		want++
+	}
+	if len(order) != want {
+		t.Fatalf("fired %d events, want %d", len(order), want)
+	}
+}
+
+func TestCancelInsideCallback(t *testing.T) {
+	e := New()
+	var late *Event
+	fired := false
+	e.Schedule(1, func() { late.Cancel() })
+	late = e.Schedule(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled from an earlier callback still fired")
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := New()
+	count := 0
+	var evs []*Event
+	for i := Time(1); i <= 10; i++ {
+		evs = append(evs, e.Schedule(i*10, func() { count++ }))
+	}
+	evs[0].Cancel()
+	evs[4].Cancel()
+	e.RunUntil(50)
+	if count != 3 {
+		t.Fatalf("ran %d events until t=50, want 3", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+}

@@ -17,12 +17,30 @@
 // Everything runs on a deterministic discrete-event substrate: cycle-level
 // DDR4/DDR5/HBM2 channels, write-allocate cache translation and MSHR-
 // limited cores, configured to mirror the paper's eight platforms.
+//
+// # The characterization service
+//
+// Producing a curve family means running the full benchmark sweep — the
+// most expensive operation in the framework — yet benchmarking, simulator
+// evaluation and profiling all keep asking for the same families. Every
+// characterization therefore flows through a shared service
+// (NewCharacterizationService) that content-addresses each request by a
+// SHA-256 fingerprint of the platform spec and normalized sweep options,
+// memoizes results in memory with singleflight deduplication (concurrent
+// requests for one key run one simulation), optionally persists families
+// to disk in the release CSV format, and fans batches out over a bounded
+// worker pool. Package-level Characterize and RunExperiment share one
+// default in-process service, so repeated calls — and a full experiment
+// registry run — perform each unique characterization exactly once;
+// RunExperimentWith threads a caller-owned service (e.g. one backed by an
+// on-disk store) through the experiment registry instead.
 package mess
 
 import (
 	"io"
 
 	"github.com/mess-sim/mess/internal/bench"
+	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/core"
 	"github.com/mess-sim/mess/internal/cxl"
 	"github.com/mess-sim/mess/internal/exp"
@@ -85,10 +103,75 @@ type TrafficMix = bench.Mix
 // every raw measurement sample.
 type BenchmarkResult = bench.Result
 
+// Characterization service API. The service is the single path from a
+// (platform, options) pair to its curve family: content-addressed cache
+// keys, in-memory memoization with singleflight deduplication, optional
+// on-disk persistence, and bounded parallel fan-out. See internal/charz.
+type (
+	// CharacterizationService caches and deduplicates characterizations.
+	CharacterizationService = charz.Service
+	// CharacterizationConfig parameterizes a service (workers, store,
+	// runner override).
+	CharacterizationConfig = charz.Config
+	// CharacterizationRequest names one characterization: spec, options,
+	// backend tag, and whether raw samples are required.
+	CharacterizationRequest = charz.Request
+	// Characterization is a completed request: key, family, optional raw
+	// result, and where it came from.
+	Characterization = charz.Artifact
+	// CharacterizationStats are cumulative service counters.
+	CharacterizationStats = charz.Stats
+	// CharacterizationSource reports how a request was satisfied.
+	CharacterizationSource = charz.Source
+	// CharacterizationKey is the content-addressed identity of a request.
+	CharacterizationKey = charz.Key
+	// CurveStore persists curve families under a cache directory in the
+	// release CSV format.
+	CurveStore = charz.DiskStore
+)
+
+// Characterization sources.
+const (
+	FromRun    = charz.SourceRun
+	FromMemory = charz.SourceMemory
+	FromDisk   = charz.SourceDisk
+)
+
+// NewCharacterizationService builds a service.
+func NewCharacterizationService(cfg CharacterizationConfig) *CharacterizationService {
+	return charz.New(cfg)
+}
+
+// NewCurveStore opens (creating if needed) an on-disk curve cache.
+func NewCurveStore(dir string) (*CurveStore, error) { return charz.NewDiskStore(dir) }
+
+// FingerprintCharacterization computes a request's content-addressed key.
+func FingerprintCharacterization(req CharacterizationRequest) CharacterizationKey {
+	return charz.Fingerprint(req)
+}
+
+// defaultCharz backs the package-level Characterize and RunExperiment:
+// one in-process cache shared by every caller that does not bring its own
+// service.
+var defaultCharz = charz.New(charz.Config{})
+
+// DefaultCharacterizationService returns the process-wide service used by
+// Characterize and RunExperiment. Long-lived processes characterizing
+// many distinct configurations can bound its memory with Reset, which
+// drops every cached entry.
+func DefaultCharacterizationService() *CharacterizationService { return defaultCharz }
+
 // Characterize runs the Mess benchmark on the platform's detailed memory
-// model and returns the curve family with all samples.
+// model and returns the curve family with all samples. Results are served
+// from the default characterization service: repeated calls with an
+// identical (platform, options) pair simulate once, and concurrent calls
+// for the same pair share a single run.
 func Characterize(p Platform, opt BenchmarkOptions) (*BenchmarkResult, error) {
-	return bench.Run(p, opt)
+	art, err := defaultCharz.Characterize(charz.Request{Spec: p, Options: opt, NeedSamples: true})
+	if err != nil {
+		return nil, err
+	}
+	return art.Result, nil
 }
 
 // QuickBenchmarkOptions returns a reduced sweep (three mixes, coarse
@@ -211,6 +294,11 @@ type ExperimentResult = exp.Result
 // ExperimentScale selects Quick or Full fidelity.
 type ExperimentScale = exp.Scale
 
+// ExperimentEnv is the execution environment threaded through every
+// experiment: the scale plus the characterization service the experiment
+// draws curve families from.
+type ExperimentEnv = exp.Env
+
 // Experiment scales.
 const (
 	ScaleQuick = exp.Quick
@@ -221,13 +309,22 @@ const (
 func Experiments() []Experiment { return exp.All() }
 
 // RunExperiment executes one experiment by id ("fig2" … "fig18", "table1",
-// "tablespeed", "openpiton-bug").
+// "tablespeed", "openpiton-bug") against the default characterization
+// service, so experiments run back to back share reference curves.
 func RunExperiment(id string, s ExperimentScale) (*ExperimentResult, error) {
+	return RunExperimentWith(defaultCharz, id, s)
+}
+
+// RunExperimentWith executes one experiment against a caller-owned
+// characterization service — e.g. one backed by an on-disk store so a
+// registry sweep survives process restarts. A nil service gets a fresh
+// in-memory one.
+func RunExperimentWith(svc *CharacterizationService, id string, s ExperimentScale) (*ExperimentResult, error) {
 	e, ok := exp.ByID(id)
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id}
 	}
-	return e.Run(s)
+	return e.Run(exp.NewEnv(s, svc))
 }
 
 // UnknownExperimentError reports a request for an unregistered experiment.

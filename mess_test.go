@@ -60,6 +60,53 @@ func TestCharacterizeAndPersist(t *testing.T) {
 	}
 }
 
+func TestCharacterizeServedFromCache(t *testing.T) {
+	spec := mess.Power9()
+	spec.Cores = 6
+	spec.DRAM.Channels = 3
+
+	before := mess.DefaultCharacterizationService().Stats()
+	first, err := mess.Characterize(spec, mess.QuickBenchmarkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := mess.Characterize(spec, mess.QuickBenchmarkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := mess.DefaultCharacterizationService().Stats()
+
+	if got := after.Runs - before.Runs; got != 1 {
+		t.Fatalf("two identical Characterize calls ran %d simulations, want 1", got)
+	}
+	if after.MemoryHits-before.MemoryHits < 1 {
+		t.Fatalf("second Characterize not served from cache: %+v -> %+v", before, after)
+	}
+	if len(second.Samples) != len(first.Samples) {
+		t.Fatalf("cached result lost samples: %d vs %d", len(second.Samples), len(first.Samples))
+	}
+	// Results are isolated copies: mutating one must not leak into the next.
+	second.Family.Label = "scribbled"
+	third, err := mess.Characterize(spec, mess.QuickBenchmarkOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Family.Label == "scribbled" {
+		t.Fatal("cached family shared mutable state across callers")
+	}
+
+	// A different sweep is a different key: it must simulate afresh.
+	opt := mess.QuickBenchmarkOptions()
+	opt.PacesNs = []float64{0, 32}
+	if _, err := mess.Characterize(spec, opt); err != nil {
+		t.Fatal(err)
+	}
+	final := mess.DefaultCharacterizationService().Stats()
+	if got := final.Runs - after.Runs; got != 1 {
+		t.Fatalf("changed options ran %d simulations, want 1 fresh run", got)
+	}
+}
+
 func TestSimulatorFacade(t *testing.T) {
 	fam := mustQuickFamily(t)
 	eng := mess.NewEngine()
