@@ -30,6 +30,7 @@ func main() {
 		full     = flag.Bool("full", false, "run the full sweep (dense mixes and pacing; slower)")
 		out      = flag.String("out", "", "write the curve family as CSV to this file")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
+		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		opt = mess.BenchmarkOptions{}
 	}
 
-	svc := cli.Service(*cacheDir)
+	svc := cli.Service(*cacheDir, *cacheMax)
 	fmt.Printf("characterizing %s ...\n", spec.String())
 	start := time.Now()
 	art, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})

@@ -32,6 +32,7 @@ func main() {
 		outdir   = flag.String("outdir", "", "also write each report to <outdir>/<id>.txt")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
+		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 		}
 	}
 
-	svc := cli.Service(*cacheDir)
+	svc := cli.Service(*cacheDir, *cacheMax)
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()

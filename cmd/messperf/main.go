@@ -1,0 +1,154 @@
+// Command messperf runs the repository's hot-path performance suite and
+// writes the results as a JSON trajectory artifact (BENCH_sim.json by
+// default), so kernel and simulator speed is tracked across changes the
+// same way the figures track accuracy.
+//
+// It measures three layers, using the canonical workloads of
+// internal/perfload (shared with the root -bench=Kernel benchmarks, so the
+// gate and the trajectory always measure the same thing):
+//
+//   - the event kernel: schedule/fire throughput on the wheel and overflow
+//     paths, cancel churn, and timer re-arming;
+//   - the memory models: events/sec of the detailed DRAM reference model
+//     and the Mess analytical simulator under closed-loop load;
+//   - the framework: wall-clock of a Quick-scale characterization and of
+//     the fig2 experiment (full benchmark sweeps on fresh services, no
+//     caches).
+//
+// Usage:
+//
+//	messperf [-out BENCH_sim.json] [-kernel-events 4000000] [-model-events 300000] [-skip-fig2]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/mess-sim/mess"
+	"github.com/mess-sim/mess/internal/cli"
+	"github.com/mess-sim/mess/internal/perfload"
+)
+
+// Result is one measured quantity of the suite.
+type Result struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	WallMs       float64 `json:"wall_ms"`
+	Ops          int     `json:"ops"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+func measure(name string, ops int, run func()) Result {
+	start := time.Now()
+	run()
+	el := time.Since(start)
+	r := Result{Name: name, WallMs: float64(el.Nanoseconds()) / 1e6, Ops: ops}
+	if ops > 0 {
+		r.NsPerOp = float64(el.Nanoseconds()) / float64(ops)
+		r.EventsPerSec = float64(ops) / el.Seconds()
+	}
+	return r
+}
+
+// modelThroughput drives perfload's closed request loop against a memory
+// model and reports completions/sec.
+func modelThroughput(name string, n int, mk func(eng *mess.Engine) mess.MemBackend) Result {
+	eng := mess.NewEngine()
+	model := mk(eng)
+	return measure(name, n, func() { perfload.ClosedLoop(eng, model, n) })
+}
+
+func main() {
+	var (
+		out          = flag.String("out", "BENCH_sim.json", "write the JSON report here")
+		kernelEvents = flag.Int("kernel-events", 4_000_000, "events per kernel micro-measurement")
+		modelEvents  = flag.Int("model-events", 300_000, "requests per model measurement")
+		skipFig2     = flag.Bool("skip-fig2", false, "skip the Quick-scale fig2 characterization")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema:     "mess-perf/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	add := func(r Result) {
+		rep.Results = append(rep.Results, r)
+		if r.EventsPerSec > 0 {
+			fmt.Printf("%-28s %10.1f ns/op %12.0f events/s %10.1f ms\n", r.Name, r.NsPerOp, r.EventsPerSec, r.WallMs)
+		} else {
+			fmt.Printf("%-28s %38s %10.1f ms\n", r.Name, "", r.WallMs)
+		}
+	}
+	kernel := func(name string, load func(*mess.Engine, int)) {
+		eng := mess.NewEngine()
+		n := *kernelEvents
+		add(measure("kernel/"+name, n, func() { load(eng, n) }))
+	}
+
+	kernel("schedule_fire", perfload.ScheduleFire)
+	kernel("wheel_dense", perfload.WheelDense)
+	kernel("far_horizon", perfload.FarHorizon)
+	kernel("schedule_cancel", perfload.Cancel)
+	kernel("timer_rearm", perfload.TimerRearm)
+
+	add(modelThroughput("model/dram_reference", *modelEvents, func(eng *mess.Engine) mess.MemBackend {
+		m, err := mess.NewMemoryModel(mess.ModelReference, eng, mess.Skylake(), nil)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		return m
+	}))
+
+	// The Mess analytical simulator needs a curve family; its production is
+	// itself the framework-level measurement (a Quick characterization on a
+	// fresh service = the full sweep, uncached).
+	spec := mess.Skylake()
+	spec.Cores = 8
+	spec.DRAM.Channels = 3
+	var fam *mess.Family
+	add(measure("framework/characterize_quick", 0, func() {
+		svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+		art, err := svc.Characterize(mess.CharacterizationRequest{Spec: spec, Options: mess.QuickBenchmarkOptions()})
+		if err != nil {
+			cli.Fatal(err)
+		}
+		fam = art.Family
+	}))
+	add(modelThroughput("model/mess_simulator", *modelEvents, func(eng *mess.Engine) mess.MemBackend {
+		return mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
+	}))
+
+	if !*skipFig2 {
+		add(measure("framework/fig2_quick", 0, func() {
+			svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+			if _, err := mess.RunExperimentWith(svc, "fig2", mess.ScaleQuick); err != nil {
+				cli.Fatal(err)
+			}
+		}))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cli.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

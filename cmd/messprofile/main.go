@@ -30,12 +30,13 @@ func main() {
 		out      = flag.String("trace", "", "write the Paraver-flavoured trace to this file")
 		durUs    = flag.Int("duration-us", 2000, "simulated application duration in microseconds")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
+		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 	)
 	flag.Parse()
 
 	spec := cli.MustPlatform(*name)
 
-	svc := cli.Service(*cacheDir)
+	svc := cli.Service(*cacheDir, *cacheMax)
 	fmt.Printf("characterizing %s for the profiling curves ...\n", spec.Name)
 	ref, err := svc.Characterize(charz.Request{Spec: spec, Options: bench.QuickOptions()})
 	if err != nil {

@@ -37,6 +37,7 @@ func main() {
 		ipc      = flag.Bool("ipc", false, "run the workload IPC-error evaluation instead of curves")
 		full     = flag.Bool("full", false, "use the full benchmark sweep")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
+		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		opt = bench.Options{}
 	}
 
-	svc := cli.Service(*cacheDir)
+	svc := cli.Service(*cacheDir, *cacheMax)
 	fmt.Printf("reference characterization of %s ...\n", spec.Name)
 	refArt, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
 	if err != nil {

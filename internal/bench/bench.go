@@ -135,10 +135,22 @@ type Result struct {
 type rowStatser interface{ RowStats() dram.RowStats }
 
 // Run executes the sweep for the platform and assembles the curve family.
+//
+// Points are distributed over a pool of Parallelism workers. Each worker
+// owns one simulation engine for the whole sweep and Resets it between
+// points, so the kernel's event pool, wheel buckets and overflow heap stay
+// warm instead of being rebuilt (and re-grown) for every measurement. Each
+// point still simulates in complete isolation — Reset restores the engine
+// to its initial state — so results are independent of how points map onto
+// workers.
 func Run(spec platform.Spec, opt Options) (*Result, error) {
 	o := opt.withDefaults()
-	type job struct{ mixIdx, paceIdx int }
-	jobs := make([]job, 0, len(o.Mixes)*len(o.PacesNs))
+	// Job 0 is the unloaded anchor: the pointer chase alone, as the paper
+	// measures the unloaded latency (validated against LMbench/multichase).
+	// It becomes the first point of every curve.
+	type job struct{ mixIdx, paceIdx int } // mixIdx < 0: unloaded anchor
+	jobs := make([]job, 0, len(o.Mixes)*len(o.PacesNs)+1)
+	jobs = append(jobs, job{-1, -1})
 	for mi := range o.Mixes {
 		for pi := range o.PacesNs {
 			jobs = append(jobs, job{mi, pi})
@@ -147,62 +159,60 @@ func Run(spec platform.Spec, opt Options) (*Result, error) {
 	samples := make([]Sample, len(jobs))
 	errs := make([]error, len(jobs))
 
+	workers := o.Parallelism
+	if workers < 1 {
+		workers = 1 // a nonsensical Parallelism must not starve the feed
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	feed := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Parallelism)
-	// The unloaded anchor: the pointer chase alone, as the paper measures
-	// the unloaded latency (validated against LMbench/multichase). It
-	// becomes the first point of every curve.
-	var unloaded Sample
-	var unloadedErr error
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		sem <- struct{}{}
-		defer func() { <-sem }()
-		unloaded, unloadedErr = measureWith(spec, o, Mix{}, 0, 0)
-	}()
-	for ji, j := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(ji int, j job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s, err := measurePoint(spec, o, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx])
-			samples[ji], errs[ji] = s, err
-		}(ji, j)
+			eng := sim.New() // reused across every point this worker runs
+			for ji := range feed {
+				eng.Reset()
+				j := jobs[ji]
+				if j.mixIdx < 0 {
+					samples[ji], errs[ji] = measureWith(eng, spec, o, Mix{}, 0, 0)
+				} else {
+					samples[ji], errs[ji] = measureWith(eng, spec, o, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx], spec.Cores-1)
+				}
+			}
+		}()
 	}
+	for ji := range jobs {
+		feed <- ji
+	}
+	close(feed)
 	wg.Wait()
-	if unloadedErr != nil {
-		return nil, unloadedErr
-	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	fam := assemble(spec, o, samples, unloaded)
-	return &Result{Spec: spec, Family: fam, Samples: samples}, nil
+	fam := assemble(spec, o, samples[1:], samples[0])
+	return &Result{Spec: spec, Family: fam, Samples: samples[1:]}, nil
 }
 
 // MeasureUnloaded runs only the pointer chase and reports the unloaded
 // load-to-use latency — the LMbench/multichase validation measurement.
 func MeasureUnloaded(spec platform.Spec, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	s, err := measureWith(spec, o, Mix{}, 0, 0) // zero generators
+	s, err := measureWith(sim.New(), spec, o, Mix{}, 0, 0) // zero generators
 	if err != nil {
 		return 0, err
 	}
 	return s.LatNs, nil
 }
 
-func measurePoint(spec platform.Spec, o Options, mix Mix, paceNs float64) (Sample, error) {
-	return measureWith(spec, o, mix, paceNs, spec.Cores-1)
-}
-
-func measureWith(spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
-	eng := sim.New()
-
+// measureWith simulates one sweep point on the given engine, which must be
+// fresh or Reset.
+func measureWith(eng *sim.Engine, spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
 	var backend mem.Backend
 	if o.Backend != nil {
 		backend = o.Backend(eng)

@@ -297,7 +297,7 @@ func (p *Port) finish(memDone sim.Time, done func(at sim.Time)) {
 		done(at)
 		return
 	}
-	p.h.eng.Schedule(at, func() { done(at) })
+	p.h.eng.ScheduleTimed(at, done)
 }
 
 // completeOnChip fires done after the on-chip hit latency.
@@ -306,5 +306,5 @@ func (p *Port) completeOnChip(done func(at sim.Time)) {
 		return
 	}
 	at := p.h.eng.Now() + p.h.cfg.LLCHitLatency
-	p.h.eng.Schedule(at, func() { done(at) })
+	p.h.eng.ScheduleTimed(at, done)
 }

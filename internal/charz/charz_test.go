@@ -1,7 +1,11 @@
 package charz
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -471,5 +475,187 @@ func TestNeedSamplesUpgradeNotCountedAsHit(t *testing.T) {
 	st := svc.Stats()
 	if st.MemoryHits != 0 || st.DiskHits != 1 || st.Runs != 1 {
 		t.Fatalf("stats = %+v, want 0 memory hits, 1 disk hit, 1 run", st)
+	}
+}
+
+// --- sharded store layout, migration and eviction ---
+
+func famForStoreTest(label string) *core.Family {
+	return &core.Family{
+		Label:         label,
+		TheoreticalBW: 100,
+		Curves: []core.Curve{
+			{ReadRatio: 1.0, Points: []core.Point{{BW: 1, Latency: 90}, {BW: 80, Latency: 200}}},
+		},
+	}
+}
+
+func keyForStoreTest(i int) Key {
+	return Fingerprint(Request{Spec: testSpec(fmt.Sprintf("shard-%d", i)), Options: bench.QuickOptions()})
+}
+
+func TestDiskStoreShardsByKeyPrefix(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyForStoreTest(1)
+	if err := store.Save(key, famForStoreTest("sharded")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, key.String()[:2], key.String()+".csv")
+	if store.Path(key) != want {
+		t.Fatalf("Path = %q, want %q", store.Path(key), want)
+	}
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("saved file not in shard subdirectory: %v", err)
+	}
+	fam, ok, err := store.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load after sharded save: ok=%v err=%v", ok, err)
+	}
+	if fam.Label != "sharded" {
+		t.Fatalf("label = %q", fam.Label)
+	}
+}
+
+func TestDiskStoreMigratesFlatLayout(t *testing.T) {
+	dir := t.TempDir()
+	// Fabricate a pre-shard store: key files directly under dir.
+	keys := []Key{keyForStoreTest(10), keyForStoreTest(11), keyForStoreTest(12)}
+	for i, k := range keys {
+		var buf bytes.Buffer
+		if err := famForStoreTest(fmt.Sprintf("flat-%d", i)).WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, k.String()+".csv"), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-key file must survive untouched.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a curve"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		fam, ok, err := store.Load(k)
+		if err != nil || !ok {
+			t.Fatalf("key %d unreadable after migration: ok=%v err=%v", i, ok, err)
+		}
+		if want := fmt.Sprintf("flat-%d", i); fam.Label != want {
+			t.Fatalf("key %d label = %q, want %q", i, fam.Label, want)
+		}
+		if _, err := os.Stat(filepath.Join(dir, k.String()+".csv")); !os.IsNotExist(err) {
+			t.Fatalf("flat file %d still present after migration", i)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatalf("migration disturbed non-key file: %v", err)
+	}
+	// Re-opening an already-sharded store is a no-op.
+	if _, err := NewDiskStore(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreGCEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	keys := make([]Key, n)
+	var fileSize int64
+	for i := range keys {
+		keys[i] = keyForStoreTest(100 + i)
+		if err := store.Save(keys[i], famForStoreTest("gc")); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(store.Path(keys[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileSize = fi.Size()
+		// Distinct mtimes establish the LRU order: keys[0] oldest.
+		old := time.Now().Add(-time.Duration(n-i) * time.Hour)
+		if err := os.Chtimes(store.Path(keys[i]), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest via Load: it becomes the most recently used.
+	if _, ok, err := store.Load(keys[0]); !ok || err != nil {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+
+	store.SetMaxBytes(fileSize * 4)
+	evicted, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != n-4 {
+		t.Fatalf("evicted %d files, want %d", evicted, n-4)
+	}
+	// The loaded key survived; the next-oldest untouched keys are gone.
+	if _, ok, _ := store.Load(keys[0]); !ok {
+		t.Fatal("recently loaded key was evicted")
+	}
+	for i := 1; i <= n-4; i++ {
+		if _, ok, _ := store.Load(keys[i]); ok {
+			t.Fatalf("stale key %d survived GC", i)
+		}
+	}
+	for i := n - 3; i < n; i++ {
+		if _, ok, _ := store.Load(keys[i]); !ok {
+			t.Fatalf("recent key %d was evicted", i)
+		}
+	}
+	sz, err := store.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz > fileSize*4 {
+		t.Fatalf("store size %d exceeds budget %d after GC", sz, fileSize*4)
+	}
+}
+
+func TestDiskStoreSaveTriggersGC(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget of ~2 files: saving many more must keep the store bounded.
+	if err := store.Save(keyForStoreTest(200), famForStoreTest("seed")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(store.Path(keyForStoreTest(200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMaxBytes(fi.Size()*2 + fi.Size()/2)
+	for i := 0; i < 2*gcEvery; i++ {
+		if err := store.Save(keyForStoreTest(300+i), famForStoreTest("fill")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz, err := store.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store may transiently exceed the budget between GC passes, but
+	// after this many saves it must have been brought back near it (within
+	// one inter-GC batch of the bound).
+	limit := fi.Size()*2 + fi.Size()/2 + int64(gcEvery+1)*fi.Size()
+	if sz > limit {
+		t.Fatalf("store size %d never bounded (limit %d)", sz, limit)
+	}
+	if _, err := os.Stat(store.Path(keyForStoreTest(300 + 2*gcEvery - 1))); err != nil {
+		t.Fatalf("most recent save missing: %v", err)
 	}
 }

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"github.com/mess-sim/mess/internal/core"
 )
@@ -14,30 +18,115 @@ import (
 // Mess simulator release format alike. File names are the hex key, making
 // the store content-addressed: a stale file cannot be served for a changed
 // configuration, because the changed configuration hashes elsewhere.
+//
+// # Layout
+//
+// Files are sharded into 256 subdirectories by the first two hex digits of
+// the key (dir/ab/abcdef….csv), so a full-sweep cache of thousands of
+// families never produces a directory large enough to slow lookups or
+// directory scans. Stores written by earlier versions — flat files directly
+// under dir — are migrated into their shards transparently when the store
+// is opened.
+//
+// # Eviction
+//
+// An optional size bound (SetMaxBytes, or the -cache-max-mb CLI flag)
+// turns the store into an LRU cache: Load refreshes a file's modification
+// time, and a GC pass evicts least-recently-used families until the store
+// fits the budget. GC runs automatically after saves (amortized — roughly
+// every 32 writes once the budget is near) and can be invoked explicitly.
 type DiskStore struct {
 	dir string
+
+	mu        sync.Mutex
+	maxBytes  int64
+	sizeKnown bool
+	sizeBytes int64 // approximate resident bytes while sizeKnown
+	saves     int   // saves since the last GC pass
 }
 
-// NewDiskStore opens (creating if needed) a store rooted at dir.
+// gcEvery bounds how many saves may elapse between automatic GC passes
+// once a size budget is set.
+const gcEvery = 32
+
+// NewDiskStore opens (creating if needed) a store rooted at dir, migrating
+// any flat pre-shard layout into the sharded one.
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("charz: creating cache dir: %w", err)
 	}
-	return &DiskStore{dir: dir}, nil
+	d := &DiskStore{dir: dir}
+	if err := d.migrate(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Dir reports the store's root directory.
 func (d *DiskStore) Dir() string { return d.dir }
 
+// SetMaxBytes bounds the store's on-disk size; 0 (the default) disables
+// eviction. The bound is enforced by GC passes, not per write, so the store
+// may transiently exceed it by the files saved since the last pass.
+func (d *DiskStore) SetMaxBytes(n int64) {
+	d.mu.Lock()
+	d.maxBytes = n
+	d.mu.Unlock()
+}
+
+// isKeyFile reports whether name is a content-addressed curve file.
+func isKeyFile(name string) bool {
+	if !strings.HasSuffix(name, ".csv") {
+		return false
+	}
+	stem := strings.TrimSuffix(name, ".csv")
+	if len(stem) != 64 {
+		return false
+	}
+	for _, c := range stem {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// migrate moves flat key files from the store root into their shard
+// subdirectories. It is idempotent and tolerates concurrent migrators: a
+// rename that fails because the source vanished is another opener having
+// won the race.
+func (d *DiskStore) migrate() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("charz: scanning cache dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !isKeyFile(e.Name()) {
+			continue
+		}
+		shard := filepath.Join(d.dir, e.Name()[:2])
+		if err := os.MkdirAll(shard, 0o755); err != nil {
+			return fmt.Errorf("charz: creating shard dir: %w", err)
+		}
+		if err := os.Rename(filepath.Join(d.dir, e.Name()), filepath.Join(shard, e.Name())); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("charz: migrating %s into shard: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
 // Path reports where the family for key lives (whether or not it exists).
 func (d *DiskStore) Path(key Key) string {
-	return filepath.Join(d.dir, key.String()+".csv")
+	k := key.String()
+	return filepath.Join(d.dir, k[:2], k+".csv")
 }
 
 // Load reads the family for key. ok is false when the key is absent; a
-// present but unparsable file is an error.
+// present but unparsable file is an error. A hit refreshes the file's
+// modification time, which is the recency signal the GC pass evicts by.
 func (d *DiskStore) Load(key Key) (fam *core.Family, ok bool, err error) {
-	f, err := os.Open(d.Path(key))
+	path := d.Path(key)
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -47,15 +136,23 @@ func (d *DiskStore) Load(key Key) (fam *core.Family, ok bool, err error) {
 	defer f.Close()
 	fam, err = core.ReadCSV(f)
 	if err != nil {
-		return nil, false, fmt.Errorf("charz: parsing cached curves %s: %w", d.Path(key), err)
+		return nil, false, fmt.Errorf("charz: parsing cached curves %s: %w", path, err)
 	}
+	// Best-effort LRU touch; a read-only store still serves hits.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return fam, true, nil
 }
 
 // Save writes the family for key atomically (temp file + rename), so a
-// crashed or concurrent writer never leaves a torn CSV for readers.
+// crashed or concurrent writer never leaves a torn CSV for readers. When a
+// size budget is set, an amortized GC pass keeps the store under it.
 func (d *DiskStore) Save(key Key, fam *core.Family) error {
-	tmp, err := os.CreateTemp(d.dir, "."+key.Short()+"-*.tmp")
+	shard := filepath.Dir(d.Path(key))
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("charz: creating shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, "."+key.Short()+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("charz: creating cache temp file: %w", err)
 	}
@@ -64,11 +161,134 @@ func (d *DiskStore) Save(key Key, fam *core.Family) error {
 		tmp.Close()
 		return fmt.Errorf("charz: writing cached curves: %w", err)
 	}
+	var written int64
+	if fi, err := tmp.Stat(); err == nil {
+		written = fi.Size()
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp.Name(), d.Path(key)); err != nil {
 		return fmt.Errorf("charz: installing cached curves: %w", err)
 	}
+	d.noteSave(written)
 	return nil
+}
+
+// noteSave tracks the approximate store size and triggers the amortized GC
+// pass when the budget is exceeded (or every gcEvery saves as a backstop).
+func (d *DiskStore) noteSave(written int64) {
+	d.mu.Lock()
+	max := d.maxBytes
+	if max <= 0 {
+		d.mu.Unlock()
+		return
+	}
+	d.saves++
+	if d.sizeKnown {
+		d.sizeBytes += written
+	}
+	over := d.sizeKnown && d.sizeBytes > max
+	due := d.saves >= gcEvery || !d.sizeKnown
+	d.mu.Unlock()
+	if over || due {
+		_, _ = d.GC()
+	}
+}
+
+// GC evicts least-recently-used curve files until the store fits its size
+// budget, reporting how many files it removed. With no budget set it only
+// refreshes the internal size estimate. Eviction is safe at any time: the
+// store is content-addressed, so an evicted family is simply re-simulated
+// (and re-saved) on its next request.
+func (d *DiskStore) GC() (evicted int, err error) {
+	type file struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []file
+	var total int64
+	shards, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("charz: scanning cache dir: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(d.dir, sh.Name()))
+		if err != nil {
+			continue // shard vanished under us
+		}
+		for _, e := range entries {
+			fi, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if !isKeyFile(e.Name()) {
+				// Sweep temp files orphaned by a killed writer: they are
+				// invisible to Load yet consume the budget. Anything still
+				// mid-write is far younger than an hour.
+				if strings.HasSuffix(e.Name(), ".tmp") && time.Since(fi.ModTime()) > time.Hour {
+					_ = os.Remove(filepath.Join(d.dir, sh.Name(), e.Name()))
+				}
+				continue
+			}
+			files = append(files, file{
+				path:  filepath.Join(d.dir, sh.Name(), e.Name()),
+				size:  fi.Size(),
+				mtime: fi.ModTime(),
+			})
+			total += fi.Size()
+		}
+	}
+
+	d.mu.Lock()
+	max := d.maxBytes
+	d.mu.Unlock()
+	if max > 0 && total > max {
+		// Oldest (least recently loaded or saved) first.
+		sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+		for _, f := range files {
+			if total <= max {
+				break
+			}
+			if rmErr := os.Remove(f.path); rmErr != nil {
+				if os.IsNotExist(rmErr) {
+					total -= f.size
+					continue
+				}
+				err = rmErr
+				continue
+			}
+			total -= f.size
+			evicted++
+		}
+	}
+
+	d.mu.Lock()
+	d.sizeKnown = true
+	d.sizeBytes = total
+	d.saves = 0
+	d.mu.Unlock()
+	return evicted, err
+}
+
+// Size reports the store's current resident bytes (walking the store if no
+// estimate is cached yet).
+func (d *DiskStore) Size() (int64, error) {
+	d.mu.Lock()
+	if d.sizeKnown {
+		n := d.sizeBytes
+		d.mu.Unlock()
+		return n, nil
+	}
+	d.mu.Unlock()
+	if _, err := d.GC(); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sizeBytes, nil
 }

@@ -69,15 +69,20 @@ func MustScale(name string) exp.Scale {
 }
 
 // Service builds a characterization service honouring the shared
-// -cache-dir flag: empty means in-memory only, otherwise curve families
-// persist under dir and later invocations skip re-simulation.
-func Service(cacheDir string) *charz.Service {
+// -cache-dir / -cache-max-mb flag convention: an empty dir means in-memory
+// only, otherwise curve families persist under dir (sharded by key prefix)
+// and later invocations skip re-simulation. A positive maxMB bounds the
+// store, evicting least-recently-used families.
+func Service(cacheDir string, maxMB int) *charz.Service {
 	var store *charz.DiskStore
 	if cacheDir != "" {
 		var err error
 		store, err = charz.NewDiskStore(cacheDir)
 		if err != nil {
 			Fatal(err)
+		}
+		if maxMB > 0 {
+			store.SetMaxBytes(int64(maxMB) << 20)
 		}
 	}
 	return charz.New(charz.Config{Store: store})

@@ -35,6 +35,12 @@ type Chaser struct {
 	hopOverhead sim.Time // core-side work per hop (loop counter, branch)
 
 	running bool
+	issued  sim.Time // issue time of the single in-flight load
+
+	// The chase is fully serialized, so the hop and completion callbacks
+	// are allocated once and reused for every hop.
+	hopFn  func()
+	doneFn func(sim.Time)
 
 	latSum sim.Time
 	latN   uint64
@@ -50,7 +56,7 @@ func NewChaser(eng *sim.Engine, port *cache.Port, base uint64, lines uint64, see
 	if lines == 0 || lines&(lines-1) != 0 {
 		panic("cpu: chaser lines must be a nonzero power of two")
 	}
-	return &Chaser{
+	c := &Chaser{
 		eng:   eng,
 		port:  port,
 		base:  base,
@@ -61,6 +67,9 @@ func NewChaser(eng *sim.Engine, port *cache.Port, base uint64, lines uint64, see
 		cur:         seed % lines,
 		hopOverhead: sim.Nanosecond / 2,
 	}
+	c.hopFn = c.hop
+	c.doneFn = c.hopDone
+	return c
 }
 
 // Start begins the chase. It is idempotent.
@@ -81,15 +90,18 @@ func (c *Chaser) hop() {
 	}
 	c.cur = (c.mult*c.cur + c.inc) % c.lines
 	addr := c.base + c.cur*mem.LineSize
-	issued := c.eng.Now()
-	c.port.Load(addr, func(at sim.Time) {
-		c.latSum += at - issued
-		c.latN++
-		if !c.running {
-			return
-		}
-		c.eng.Schedule(at+c.hopOverhead, c.hop)
-	})
+	c.issued = c.eng.Now()
+	c.port.Load(addr, c.doneFn)
+}
+
+// hopDone records the load-to-use latency and schedules the next hop.
+func (c *Chaser) hopDone(at sim.Time) {
+	c.latSum += at - c.issued
+	c.latN++
+	if !c.running {
+		return
+	}
+	c.eng.Schedule(at+c.hopOverhead, c.hopFn)
 }
 
 // ResetStats clears the latency accumulators (after warmup).

@@ -92,9 +92,9 @@ type Generator struct {
 	lines     uint64
 	rng       uint64
 
-	nextAt      sim.Time
-	running     bool
-	wakePending bool
+	nextAt  sim.Time
+	running bool
+	wake    *sim.Timer // pacing alarm: re-armed in place, never re-allocated
 
 	ops uint64
 }
@@ -122,6 +122,7 @@ func NewGenerator(eng *sim.Engine, port *cache.Port, cfg GenConfig) *Generator {
 		rng:   cfg.Seed,
 	}
 	g.pattern = mixPattern(cfg.StorePercent)
+	g.wake = eng.NewTimer(g.tryIssue)
 	return g
 }
 
@@ -164,7 +165,11 @@ func (g *Generator) tryIssue() {
 	for g.running {
 		now := g.eng.Now()
 		if now < g.nextAt {
-			g.wakeAt(g.nextAt)
+			// Pacing stall: sleep on the re-armable alarm until the next
+			// issue slot (a pending alarm is already set for it).
+			if !g.wake.Armed() {
+				g.wake.Arm(g.nextAt)
+			}
 			return
 		}
 		isStore := g.pattern[g.pi]
@@ -225,17 +230,6 @@ func (g *Generator) nextOffset(counter *uint64) uint64 {
 	default:
 		return (i % g.lines) * mem.LineSize
 	}
-}
-
-func (g *Generator) wakeAt(at sim.Time) {
-	if g.wakePending {
-		return
-	}
-	g.wakePending = true
-	g.eng.Schedule(at, func() {
-		g.wakePending = false
-		g.tryIssue()
-	})
 }
 
 func maxT(a, b sim.Time) sim.Time {

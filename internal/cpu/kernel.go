@@ -107,10 +107,10 @@ type KernelCore struct {
 	lineIdx uint64
 	rng     uint64
 
-	running     bool
-	wakePending bool
-	stepOpen    bool // a line-step is in progress (guards re-entrant wake-ups)
-	nextAt      sim.Time
+	running  bool
+	stepOpen bool // a line-step is in progress (guards re-entrant wake-ups)
+	nextAt   sim.Time
+	wake     *sim.Timer // pacing alarm: re-armed in place, never re-allocated
 
 	pendingOps []pendingOp // ops of the current line-step not yet issued
 
@@ -136,7 +136,7 @@ func NewKernelCore(eng *sim.Engine, port *cache.Port, k Kernel, cfg CoreConfig) 
 	if cfg.Seed == 0 {
 		cfg.Seed = 0x853c49e6748fea9b
 	}
-	return &KernelCore{
+	c := &KernelCore{
 		eng:    eng,
 		port:   port,
 		kernel: k,
@@ -144,6 +144,8 @@ func NewKernelCore(eng *sim.Engine, port *cache.Port, k Kernel, cfg CoreConfig) 
 		lines:  cfg.ArrayBytes / mem.LineSize,
 		rng:    cfg.Seed,
 	}
+	c.wake = eng.NewTimer(c.beginStep)
+	return c
 }
 
 // Start begins execution. Like the traffic generator, the core listens on
@@ -316,14 +318,9 @@ func (c *KernelCore) completeStep() {
 	c.lineIdx++
 	c.lastAt = c.eng.Now()
 	if c.nextAt > c.eng.Now() {
-		if c.wakePending {
-			return
+		if !c.wake.Armed() {
+			c.wake.Arm(c.nextAt)
 		}
-		c.wakePending = true
-		c.eng.Schedule(c.nextAt, func() {
-			c.wakePending = false
-			c.beginStep()
-		})
 		return
 	}
 	c.beginStep()

@@ -135,7 +135,7 @@ func (e *Expander) Access(req *mem.Request) {
 			rxDone := e.occupyRx(ddrDone, req.Bytes()+hdr)
 			at := rxDone + prop
 			if done := req.Done; done != nil {
-				e.eng.Schedule(at, func() { done(at) })
+				e.eng.ScheduleTimed(at, done)
 			}
 		}
 		e.eng.Schedule(arrive, func() { e.ddr.Access(inner) })
@@ -149,7 +149,7 @@ func (e *Expander) Access(req *mem.Request) {
 		rxDone := e.occupyRx(ddrDone, hdr)
 		at := rxDone + prop
 		if done := req.Done; done != nil {
-			e.eng.Schedule(at, func() { done(at) })
+			e.eng.ScheduleTimed(at, done)
 		}
 	}
 	e.eng.Schedule(arrive, func() { e.ddr.Access(inner) })

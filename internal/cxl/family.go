@@ -114,18 +114,16 @@ func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64,
 
 	// Open-loop injector: deterministic spacing, Bresenham write mix,
 	// sequential addresses across several streams. Cap outstanding to
-	// bound queue growth past saturation.
+	// bound queue growth past saturation. The fixed injection rate rides
+	// on a kernel Ticker (one pooled event re-armed in place).
 	interval := sim.FromNanoseconds(float64(mem.LineSize) / rate)
 	const maxOutstanding = 256
 	outstanding := 0
 	var line uint64
 	acc := 0.0
 	deadline := o.Warmup + o.Measure
-	var inject func()
-	inject = func() {
-		if eng.Now() >= deadline {
-			return
-		}
+	injectDone := func(sim.Time) { outstanding-- }
+	injectOne := func() {
 		if outstanding < maxOutstanding {
 			acc += writeFrac
 			op := mem.Read
@@ -136,31 +134,43 @@ func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64,
 			addr := (line%8)*(1<<28+16<<10) + (line/8)*mem.LineSize
 			line++
 			outstanding++
-			counting.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) { outstanding-- }})
+			counting.Access(&mem.Request{Addr: addr, Op: op, Done: injectDone})
 		}
-		eng.After(interval, inject)
 	}
-	inject()
+	var tick *sim.Ticker
+	tick = eng.NewTicker(interval, func() {
+		if eng.Now() >= deadline {
+			tick.Stop()
+			return
+		}
+		injectOne()
+	})
+	injectOne()
+	tick.Start()
 
-	// Latency probe: dependent reads in their own address region.
+	// Latency probe: dependent reads in their own address region. The probe
+	// and completion callbacks are allocated once; the single in-flight
+	// probe's issue time rides in probeStart.
 	var probeLatSum sim.Time
 	var probeN uint64
+	var probeStart sim.Time
 	probeLine := uint64(0)
 	var probe func()
+	probeDone := func(at sim.Time) {
+		if probeStart >= o.Warmup {
+			probeLatSum += at - probeStart
+			probeN++
+		}
+		eng.After(sim.Nanosecond, probe)
+	}
 	probe = func() {
 		if eng.Now() >= deadline {
 			return
 		}
 		probeLine = probeLine*1664525 + 1013904223
 		addr := uint64(1)<<41 + (probeLine%(1<<18))*mem.LineSize
-		start := eng.Now()
-		counting.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) {
-			if start >= o.Warmup {
-				probeLatSum += at - start
-				probeN++
-			}
-			eng.After(sim.Nanosecond, probe)
-		}})
+		probeStart = eng.Now()
+		counting.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: probeDone})
 	}
 	probe()
 

@@ -77,7 +77,7 @@ func (o *Optane) Access(req *mem.Request) {
 		o.writeFree = start + svc
 		if done := req.Done; done != nil {
 			at := start + o.cfg.WriteLatency
-			o.eng.Schedule(at, func() { done(at) })
+			o.eng.ScheduleTimed(at, done)
 		}
 		return
 	}
@@ -90,7 +90,7 @@ func (o *Optane) Access(req *mem.Request) {
 	o.readFree = start + svc
 	if done := req.Done; done != nil {
 		at := start + svc + o.cfg.ReadLatency
-		o.eng.Schedule(at, func() { done(at) })
+		o.eng.ScheduleTimed(at, done)
 	}
 }
 

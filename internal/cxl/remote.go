@@ -64,7 +64,7 @@ func (r *RemoteSocket) Access(req *mem.Request) {
 	inner.Done = func(ddrDone sim.Time) {
 		at := ddrDone + r.hop
 		if done := req.Done; done != nil {
-			r.eng.Schedule(at, func() { done(at) })
+			r.eng.ScheduleTimed(at, done)
 		}
 	}
 	r.eng.Schedule(r.eng.Now()+r.hop, func() { r.ddr.Access(inner) })

@@ -93,6 +93,7 @@ type channel struct {
 
 	decidePending bool
 	decideAt      sim.Time
+	decideFn      func() // stored once: kick schedules it without a fresh closure
 
 	counters mem.Counters
 	rowStats RowStats
@@ -113,6 +114,10 @@ func newChannel(eng *sim.Engine, cfg *Config, chIdx int) *channel {
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
+	}
+	c.decideFn = func() {
+		c.decidePending = false
+		c.decide()
 	}
 	c.lastCASBank = -1
 	for r := 0; r < cfg.Ranks; r++ {
@@ -193,10 +198,7 @@ func (c *channel) kick() {
 	}
 	c.decidePending = true
 	c.decideAt = at
-	c.eng.Schedule(at, func() {
-		c.decidePending = false
-		c.decide()
-	})
+	c.eng.Schedule(at, c.decideFn)
 }
 
 // decide picks the next request (FR-FCFS within the active direction) and
@@ -407,7 +409,7 @@ func (c *channel) issue(cr chanReq, isWrite bool) {
 	done := cr.req.Done
 	if isWrite {
 		if done != nil {
-			c.eng.Schedule(dataEnd, func() { done(dataEnd) })
+			c.eng.ScheduleTimed(dataEnd, done)
 		}
 		return
 	}
@@ -415,7 +417,7 @@ func (c *channel) issue(cr chanReq, isWrite bool) {
 	c.readLatSum += completion - cr.at
 	c.readLatN++
 	if done != nil {
-		c.eng.Schedule(completion, func() { done(completion) })
+		c.eng.ScheduleTimed(completion, done)
 	}
 }
 

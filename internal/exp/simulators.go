@@ -193,6 +193,12 @@ func traceDrivenFamily(env *Env, spec platform.Spec, mk func(eng *sim.Engine) me
 	if env.Scale == Full {
 		// Trace capture is memory-hungry; thin the pacing ladder.
 		opt.PacesNs = []float64{0, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	} else {
+		// The default quick ladder leaves the replayed curves too sparse to
+		// draw meaningfully (a replica curve can survive with the bare
+		// 2-point minimum): densify the sweep so every mix replays enough
+		// valid points for the figure to render its shape.
+		opt.PacesNs = []float64{0, 1, 2, 4, 6, 10, 16, 24, 48, 96, 192, 384}
 	}
 	actual, err := env.reference(spec)
 	if err != nil {
@@ -212,7 +218,12 @@ func traceDrivenFamily(env *Env, spec platform.Spec, mk func(eng *sim.Engine) me
 			if err != nil {
 				return nil, 0, err
 			}
-			if len(tr.Records) < 100 {
+			// Discard only truly empty captures: short quick-scale windows
+			// at heavy pacing legitimately record few transactions, and a
+			// few dozen replayed requests still yield a valid (BW, latency)
+			// point. The old threshold of 100 silently starved the figure
+			// at Quick scale.
+			if len(tr.Records) < 32 {
 				continue
 			}
 			eng := sim.New()

@@ -38,6 +38,7 @@ type InternalDDR struct {
 
 	queues  [][]*mem.Request
 	pending []bool
+	serveFn []func() // per channel, allocated once: the serve-resume event
 }
 
 // NewInternalDDR derives geometry and timing from the platform's DRAM
@@ -64,6 +65,14 @@ func NewInternalDDR(eng *sim.Engine, spec platform.Spec) *InternalDDR {
 	m.lastIsW = make([]bool, d.Channels)
 	m.queues = make([][]*mem.Request, d.Channels)
 	m.pending = make([]bool, d.Channels)
+	m.serveFn = make([]func(), d.Channels)
+	for ch := 0; ch < d.Channels; ch++ {
+		ch := ch
+		m.serveFn[ch] = func() {
+			m.pending[ch] = false
+			m.serve(ch)
+		}
+	}
 	return m
 }
 
@@ -120,13 +129,10 @@ func (m *InternalDDR) serve(ch int) {
 
 	if done := req.Done; done != nil {
 		at := end
-		m.eng.Schedule(at, func() { done(at) })
+		m.eng.ScheduleTimed(at, done)
 	}
 	m.pending[ch] = true
-	m.eng.Schedule(maxT(now, start), func() {
-		m.pending[ch] = false
-		m.serve(ch)
-	})
+	m.eng.Schedule(maxT(now, start), m.serveFn[ch])
 }
 
 // refreshAdjust stalls commands that land in a refresh window.

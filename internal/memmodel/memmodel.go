@@ -93,7 +93,7 @@ func NewFixed(eng *sim.Engine, latency sim.Time) *Fixed {
 func (f *Fixed) Access(req *mem.Request) {
 	if done := req.Done; done != nil {
 		at := f.eng.Now() + f.Latency
-		f.eng.Schedule(at, func() { done(at) })
+		f.eng.ScheduleTimed(at, done)
 	}
 }
 
@@ -138,6 +138,6 @@ func (m *MD1) Access(req *mem.Request) {
 	m.free[ch] = start + m.svc
 	if done := req.Done; done != nil {
 		at := start + m.svc + m.base
-		m.eng.Schedule(at, func() { done(at) })
+		m.eng.ScheduleTimed(at, done)
 	}
 }

@@ -105,7 +105,7 @@ func (d *DRAMsim3Like) Access(req *mem.Request) {
 	lat := d.latency()
 	if done := req.Done; done != nil {
 		at := start + sim.FromNanoseconds(lat)
-		d.eng.Schedule(at, func() { done(at) })
+		d.eng.ScheduleTimed(at, done)
 	}
 }
 
@@ -173,7 +173,7 @@ func (r *RamulatorLike) Access(req *mem.Request) {
 	r.recordRow()
 	if done := req.Done; done != nil {
 		at := now + r.lat
-		r.eng.Schedule(at, func() { done(at) })
+		r.eng.ScheduleTimed(at, done)
 	}
 }
 
@@ -242,6 +242,6 @@ func (r *Ramulator2Like) Access(req *mem.Request) {
 	r.free[ch] = start + r.svc
 	if done := req.Done; done != nil {
 		at := start + r.svc + r.base
-		r.eng.Schedule(at, func() { done(at) })
+		r.eng.ScheduleTimed(at, done)
 	}
 }

@@ -198,8 +198,8 @@ func (s *Simulator) Access(req *mem.Request) {
 		s.busFree += s.busSvc
 	}
 	if done := req.Done; done != nil {
-		at := slot + s.memLat
-		s.eng.Schedule(at, func() { done(at) })
+		// Allocation-free completion: the deadline rides in the event.
+		s.eng.ScheduleTimed(slot+s.memLat, done)
 	}
 
 	if s.winOps >= s.cfg.WindowOps {

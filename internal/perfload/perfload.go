@@ -1,0 +1,116 @@
+// Package perfload holds the canonical kernel and model performance
+// workloads, shared by the root -bench=Kernel micro-benchmarks and the
+// cmd/messperf trajectory runner so both always measure the same thing:
+// a tuning change here moves the regression gate and BENCH_sim.json
+// together, never one without the other.
+package perfload
+
+import (
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// ScheduleFire drives n schedule+fire pairs through 8 self-perpetuating
+// event chains with short DDR-like deltas — the pattern the DRAM command
+// scheduler and pacing loops generate. The headline kernel number.
+func ScheduleFire(eng *sim.Engine, n int) {
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			eng.After(3*sim.Nanosecond+sim.Time(fired%7)*100, tick)
+		}
+	}
+	for i := 0; i < 8 && i < n; i++ {
+		eng.After(sim.Time(i)*sim.Nanosecond, tick)
+	}
+	eng.Run()
+}
+
+// WheelDense drives n events through 512 concurrent chains — a crowded
+// wheel with many occupied buckets.
+func WheelDense(eng *sim.Engine, n int) {
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			eng.After(sim.Time(500+fired%97*13), tick)
+		}
+	}
+	for i := 0; i < 512 && i < n; i++ {
+		eng.After(sim.Time(i), tick)
+	}
+	eng.Run()
+}
+
+// FarHorizon drives n events whose deadlines all land beyond the timer
+// wheel horizon, exercising the overflow heap and its cascade back in.
+func FarHorizon(eng *sim.Engine, n int) {
+	fired := 0
+	far := 2 * sim.Microsecond // ≫ the 262 ns wheel horizon
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			eng.After(far+sim.Time(fired%13)*1000, tick)
+		}
+	}
+	for i := 0; i < 8 && i < n; i++ {
+		eng.After(sim.Time(i), tick)
+	}
+	eng.Run()
+}
+
+// Cancel drives n schedule+cancel pairs — the churn the DRAM decide path
+// generates — with periodic drains so tombstones are swept in bulk.
+func Cancel(eng *sim.Engine, n int) {
+	nop := func() {}
+	for i := 0; i < n; i++ {
+		h := eng.Schedule(eng.Now()+sim.Time(100+i%211), nop)
+		h.Cancel()
+		if i%1024 == 1023 {
+			eng.RunUntil(eng.Now() + 300*sim.Nanosecond)
+		}
+	}
+	eng.Run()
+}
+
+// TimerRearm drives n arm+fire cycles of a fixed-callback pacing timer.
+func TimerRearm(eng *sim.Engine, n int) {
+	fired := 0
+	var tm *sim.Timer
+	tm = eng.NewTimer(func() {
+		fired++
+		if fired < n {
+			tm.ArmAfter(sim.Time(200 + fired%31))
+		}
+	})
+	tm.ArmAfter(1)
+	eng.Run()
+}
+
+// ClosedLoop issues n read requests against a memory backend with 256
+// outstanding, each completion re-issuing — the saturation pattern of the
+// model throughput measurements. The address walk spreads across 48
+// streams with a row-buffer-hostile stride.
+func ClosedLoop(eng *sim.Engine, backend mem.Backend, n int) {
+	var line uint64
+	completed := 0
+	var issue func()
+	issue = func() {
+		addr := (line%48)*(1<<28+97*64) + (line/48)*64
+		line++
+		backend.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(sim.Time) {
+			completed++
+			if completed < n {
+				issue()
+			}
+		}})
+	}
+	for i := 0; i < 256 && i < n; i++ {
+		issue()
+	}
+	eng.Run()
+}

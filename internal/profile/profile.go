@@ -24,17 +24,16 @@ type CounterWindow struct {
 
 // Sampler periodically snapshots a counting backend, building the raw
 // window stream. It must be driven by RunUntil on the same engine; Stop
-// cancels the periodic event.
+// cancels the periodic event. The period rides on a kernel Ticker, so
+// sampling reschedules in place instead of allocating a closure per window.
 type Sampler struct {
 	eng      *sim.Engine
 	counting *mem.CountingBackend
-	every    sim.Time
 
 	prev    mem.Counters
 	prevAt  sim.Time
 	windows []CounterWindow
-	running bool
-	next    *sim.Event
+	tick    *sim.Ticker
 }
 
 // NewSampler builds a sampler with the given period (the paper's default
@@ -44,44 +43,35 @@ func NewSampler(eng *sim.Engine, counting *mem.CountingBackend, every sim.Time) 
 	if every <= 0 {
 		panic("profile: sampler period must be positive")
 	}
-	return &Sampler{eng: eng, counting: counting, every: every}
+	s := &Sampler{eng: eng, counting: counting}
+	s.tick = eng.NewTicker(every, s.sample)
+	return s
 }
 
 // Start begins sampling at the current time.
 func (s *Sampler) Start() {
-	if s.running {
+	if s.tick.Running() {
 		return
 	}
-	s.running = true
 	s.prev = s.counting.Snapshot()
 	s.prevAt = s.eng.Now()
-	s.schedule()
+	s.tick.Start()
 }
 
-func (s *Sampler) schedule() {
-	s.next = s.eng.After(s.every, func() {
-		if !s.running {
-			return
-		}
-		now := s.eng.Now()
-		cur := s.counting.Snapshot()
-		s.windows = append(s.windows, CounterWindow{
-			Start:   s.prevAt,
-			End:     now,
-			Traffic: cur.Sub(s.prev),
-		})
-		s.prev, s.prevAt = cur, now
-		s.schedule()
+// sample closes the current window at each ticker expiry.
+func (s *Sampler) sample() {
+	now := s.eng.Now()
+	cur := s.counting.Snapshot()
+	s.windows = append(s.windows, CounterWindow{
+		Start:   s.prevAt,
+		End:     now,
+		Traffic: cur.Sub(s.prev),
 	})
+	s.prev, s.prevAt = cur, now
 }
 
 // Stop halts sampling.
-func (s *Sampler) Stop() {
-	s.running = false
-	if s.next != nil {
-		s.next.Cancel()
-	}
-}
+func (s *Sampler) Stop() { s.tick.Stop() }
 
 // Windows reports the collected raw windows.
 func (s *Sampler) Windows() []CounterWindow { return s.windows }

@@ -143,7 +143,7 @@ func TestCancelRemovesFromQueue(t *testing.T) {
 	}
 	ev.Cancel()
 	if e.Pending() != 1 {
-		t.Fatalf("Pending after cancel = %d, want 1 (cancelled events must leave the heap)", e.Pending())
+		t.Fatalf("Pending after cancel = %d, want 1 (cancelled events must not count)", e.Pending())
 	}
 	ev.Cancel() // idempotent
 	if e.Pending() != 1 {
@@ -166,15 +166,15 @@ func TestCancelFiredEventNoOp(t *testing.T) {
 	}
 }
 
-func TestCancelMidHeapPreservesOrder(t *testing.T) {
+func TestCancelMidQueuePreservesOrder(t *testing.T) {
 	e := New()
 	var order []Time
-	var evs []*Event
+	var evs []Handle
 	for i := Time(1); i <= 50; i++ {
 		i := i
 		evs = append(evs, e.Schedule(i, func() { order = append(order, i) }))
 	}
-	// Cancel every third event, including interior heap positions.
+	// Cancel every third event, including interior queue positions.
 	for i := 0; i < len(evs); i += 3 {
 		evs[i].Cancel()
 	}
@@ -196,7 +196,7 @@ func TestCancelMidHeapPreservesOrder(t *testing.T) {
 
 func TestCancelInsideCallback(t *testing.T) {
 	e := New()
-	var late *Event
+	var late Handle
 	fired := false
 	e.Schedule(1, func() { late.Cancel() })
 	late = e.Schedule(2, func() { fired = true })
@@ -209,7 +209,7 @@ func TestCancelInsideCallback(t *testing.T) {
 func TestRunUntilSkipsCancelled(t *testing.T) {
 	e := New()
 	count := 0
-	var evs []*Event
+	var evs []Handle
 	for i := Time(1); i <= 10; i++ {
 		evs = append(evs, e.Schedule(i*10, func() { count++ }))
 	}
@@ -221,5 +221,419 @@ func TestRunUntilSkipsCancelled(t *testing.T) {
 	}
 	if e.Now() != 50 {
 		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+}
+
+// --- pooled-event and generation-counter invariants ---
+
+// A handle whose event has fired must go inert even after the record is
+// recycled into a new event: cancelling through the stale handle must not
+// cancel (or double-fire) the record's next occupant.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := New()
+	h1 := e.Schedule(5, func() {})
+	e.Run() // fires and recycles the record
+
+	fired := 0
+	h2 := e.Schedule(10, func() { fired++ })
+	h1.Cancel() // stale: must be a no-op even if h2 reuses h1's record
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1 (stale handle interfered)", fired)
+	}
+	_ = h2
+}
+
+// Cancelling a fired event inside a later callback — after the record has
+// been recycled and re-armed — must not kill the new occupant.
+func TestCancelAfterFireDuringRun(t *testing.T) {
+	e := New()
+	var h1 Handle
+	fired := 0
+	h1 = e.Schedule(1, func() {
+		// Reuse the pool immediately: this new event likely occupies h1's
+		// record. The deferred cancel below must not touch it.
+		e.Schedule(3, func() { fired++ })
+		e.Schedule(2, func() { h1.Cancel() })
+	})
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("recycled event fired %d times, want 1", fired)
+	}
+}
+
+// A cancelled-then-swept record must be reusable without double-firing.
+func TestNoDoubleFireAfterCancelAndReuse(t *testing.T) {
+	e := New()
+	h := e.Schedule(5, func() { t.Fatal("cancelled event fired") })
+	h.Cancel()
+	fired := 0
+	e.Schedule(6, func() { fired++ })
+	e.Run()
+	h.Cancel() // stale again
+	e.Schedule(7, func() { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+	if e.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2 (cancelled events must not count)", e.Steps())
+	}
+}
+
+// --- wheel/overflow path invariants ---
+
+// horizonT is a duration safely beyond the timer-wheel horizon, forcing the
+// overflow-heap path.
+const horizonT = Time(wheelSize<<granBits) * 4
+
+// Events beyond the wheel horizon must still interleave with near events in
+// exact (at, seq) order as the cursor reaches them.
+func TestOverflowCascadeOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	// Far events first (lower seq), then near events, then a pump that
+	// schedules an equal-time rival of a far event via the wheel path.
+	e.Schedule(horizonT, func() { order = append(order, 1) })   // overflow, seq 0
+	e.Schedule(horizonT+7, func() { order = append(order, 3) }) // overflow, seq 1
+	e.Schedule(3, func() { order = append(order, 0) })          // near
+	e.Schedule(horizonT-5, func() {
+		// Scheduled once time is near the horizon event: lands via the
+		// wheel/cur path at the same deadline as the first far event, but
+		// with a higher seq — must fire after it.
+		e.Schedule(horizonT, func() { order = append(order, 2) })
+	})
+	e.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("overflow/wheel interleave out of order: %v", order)
+		}
+	}
+}
+
+// RunUntil boundaries on the wheel path: stopping between buckets, exactly
+// on a deadline in a wheel bucket, and exactly on an overflow deadline.
+func TestRunUntilBoundariesOnWheel(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(100, func() { count++ })            // near bucket
+	e.Schedule(100, func() { count++ })            // same bucket, same time
+	e.Schedule(50*Nanosecond, func() { count++ })  // later bucket
+	e.Schedule(horizonT, func() { count++ })       // overflow
+
+	e.RunUntil(99)
+	if count != 0 || e.Now() != 99 {
+		t.Fatalf("RunUntil(99): count=%d now=%d, want 0, 99", count, e.Now())
+	}
+	e.RunUntil(100) // exact deadline: both equal-time events run
+	if count != 2 || e.Now() != 100 {
+		t.Fatalf("RunUntil(100): count=%d now=%d, want 2, 100", count, e.Now())
+	}
+	e.RunUntil(50 * Nanosecond) // exact deadline in a far bucket
+	if count != 3 || e.Now() != 50*Nanosecond {
+		t.Fatalf("RunUntil(50ns): count=%d now=%d, want 3", count, e.Now())
+	}
+	e.RunUntil(horizonT - 1) // stop just short of the overflow event
+	if count != 3 || e.Now() != horizonT-1 {
+		t.Fatalf("RunUntil(horizon-1): count=%d now=%d, want 3", count, e.Now())
+	}
+	e.RunUntil(horizonT) // exact overflow deadline
+	if count != 4 || e.Now() != horizonT {
+		t.Fatalf("RunUntil(horizon): count=%d now=%d, want 4", count, e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Scheduling behind an advanced wheel cursor (RunUntil moved the clock far
+// forward with the next event even further out) must still fire in order.
+func TestScheduleBehindCursor(t *testing.T) {
+	e := New()
+	var order []Time
+	rec := func() { order = append(order, e.Now()) }
+	e.Schedule(horizonT, rec)
+	// peek inside RunUntil advances the cursor toward horizonT.
+	e.RunUntil(10 * Nanosecond)
+	// Now schedule events earlier than the materialized far event.
+	e.Schedule(20*Nanosecond, rec)
+	e.Schedule(15*Nanosecond, rec)
+	e.Run()
+	want := []Time{15 * Nanosecond, 20 * Nanosecond, horizonT}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i, func() { count++ })
+	}
+	e.RunWhile(func() bool { return count < 4 })
+	if count != 4 {
+		t.Fatalf("RunWhile ran %d events, want 4", count)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("drain ran %d events, want 10", count)
+	}
+}
+
+// --- determinism ---
+
+// chaoticRun exercises every kernel structure: cascades, equal-time ties,
+// cancels, timers, and spans from sub-bucket to far beyond the horizon. It
+// returns the exact fire sequence.
+func chaoticRun(e *Engine) (order []uint64, steps uint64) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var handles []Handle
+	var id uint64
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		myID := id
+		id++
+		return func() {
+			order = append(order, myID)
+			if depth >= 6 {
+				return
+			}
+			n := int(next(4))
+			for i := 0; i < n; i++ {
+				d := Time(next(uint64(horizonT)))
+				h := e.After(d, spawn(depth+1))
+				if next(5) == 0 {
+					handles = append(handles, h)
+				}
+			}
+			if len(handles) > 0 && next(3) == 0 {
+				handles[int(next(uint64(len(handles))))].Cancel()
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		e.Schedule(Time(next(1000)), spawn(0))
+	}
+	e.Run()
+	return order, e.Steps()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	o1, s1 := chaoticRun(New())
+	o2, s2 := chaoticRun(New())
+	if s1 != s2 {
+		t.Fatalf("Steps differ across identical runs: %d vs %d", s1, s2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("event counts differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("event order diverges at step %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+}
+
+// A Reset engine must behave exactly like a fresh one — same fire order,
+// same step count — with the pool warm.
+func TestResetMatchesFreshEngine(t *testing.T) {
+	e := New()
+	o1, s1 := chaoticRun(e)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Steps() != 0 || e.Pending() != 0 {
+		t.Fatalf("Reset left state: now=%d steps=%d pending=%d", e.Now(), e.Steps(), e.Pending())
+	}
+	o2, s2 := chaoticRun(e)
+	if s1 != s2 || len(o1) != len(o2) {
+		t.Fatalf("reused engine diverged: steps %d vs %d, events %d vs %d", s1, s2, len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("reused engine order diverges at %d", i)
+		}
+	}
+}
+
+func TestResetDropsPendingEvents(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() { t.Fatal("event survived Reset") })
+	e.Schedule(horizonT, func() { t.Fatal("overflow event survived Reset") })
+	h := e.Schedule(20, func() { t.Fatal("event survived Reset") })
+	e.Reset()
+	h.Cancel() // stale post-reset handle: no-op
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("post-reset event did not fire")
+	}
+}
+
+// --- ScheduleTimed / Timer / Ticker ---
+
+func TestScheduleTimedPassesDeadline(t *testing.T) {
+	e := New()
+	var got Time
+	e.ScheduleTimed(42, func(at Time) { got = at })
+	e.Run()
+	if got != 42 {
+		t.Fatalf("timed callback got %d, want 42", got)
+	}
+	e.AfterTimed(8, func(at Time) { got = at })
+	e.Run()
+	if got != 50 {
+		t.Fatalf("AfterTimed callback got %d, want 50", got)
+	}
+}
+
+func TestTimerArmStopRearm(t *testing.T) {
+	e := New()
+	var fires []Time
+	tm := e.NewTimer(func() { fires = append(fires, e.Now()) })
+	if tm.Armed() {
+		t.Fatal("new timer reads armed")
+	}
+	tm.Arm(10)
+	if !tm.Armed() {
+		t.Fatal("armed timer reads disarmed")
+	}
+	if at, ok := tm.When(); !ok || at != 10 {
+		t.Fatalf("When = %d,%v want 10,true", at, ok)
+	}
+	tm.Arm(5) // re-arm earlier: replaces, not duplicates
+	e.Run()
+	if len(fires) != 1 || fires[0] != 5 {
+		t.Fatalf("fires = %v, want [5]", fires)
+	}
+	if tm.Armed() {
+		t.Fatal("fired timer reads armed")
+	}
+	tm.ArmAfter(7)
+	tm.Stop()
+	e.Run()
+	if len(fires) != 1 {
+		t.Fatalf("stopped timer fired: %v", fires)
+	}
+	tm.ArmAfter(3) // rearm after stop
+	e.Run()
+	if len(fires) != 2 || fires[1] != 8 {
+		t.Fatalf("fires = %v, want [5 8]", fires)
+	}
+}
+
+func TestTimerRearmInsideCallback(t *testing.T) {
+	e := New()
+	var fires []Time
+	var tm *Timer
+	tm = e.NewTimer(func() {
+		fires = append(fires, e.Now())
+		if tm.Armed() {
+			t.Fatal("timer reads armed inside its own callback")
+		}
+		if len(fires) < 3 {
+			tm.ArmAfter(4)
+		}
+	})
+	tm.Arm(4)
+	e.Run()
+	want := []Time{4, 8, 12}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	tk.Start() // idempotent
+	e.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if tk.Running() {
+		t.Fatal("stopped ticker reads running")
+	}
+	// Restart keeps working.
+	tk.Start()
+	e.RunUntil(e.Now() + 25)
+	if len(ticks) != 6 {
+		t.Fatalf("restarted ticker ticked %d times total, want 6", len(ticks))
+	}
+	tk.Stop()
+	e.Run()
+}
+
+// A callback that restarts its own ticker (Stop then Start, e.g. to
+// resynchronize phase) must not fork a second tick chain.
+func TestTickerRestartInsideCallbackSingleChain(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 2 {
+			tk.Stop()
+			tk.Start() // re-sync: next tick 10 from now, one chain only
+		}
+	})
+	tk.Start()
+	e.RunUntil(60)
+	tk.Stop()
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50, 60}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v (restart forked a chain?)", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopOutsideCallbackCancelsPending(t *testing.T) {
+	e := New()
+	n := 0
+	tk := e.NewTicker(10, func() { n++ })
+	tk.Start()
+	e.RunUntil(25)
+	tk.Stop()
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
 	}
 }

@@ -18,6 +18,22 @@
 // DDR4/DDR5/HBM2 channels, write-allocate cache translation and MSHR-
 // limited cores, configured to mirror the paper's eight platforms.
 //
+// # The simulation kernel
+//
+// Every timed model shares one event kernel (Engine), built for the
+// millions of short-horizon events a single curve point generates: event
+// records are pooled and recycled (steady-state scheduling allocates
+// nothing), near-future deadlines route through a timer wheel with an
+// occupancy bitmap while only far events pay for a heap, and Cancel is an
+// O(1) tombstone made safe by generation-counted handles. Steady-rate
+// components re-arm a SimTimer or SimTicker in place instead of scheduling
+// fresh closures. The kernel guarantees deterministic execution — events
+// fire in exact (deadline, schedule order), so identical runs produce
+// byte-identical curve CSVs — and Engine.Reset lets harnesses reuse one
+// warm engine across simulations. Speed is tracked: `go test -bench=Kernel`
+// benchmarks the kernel against the pre-wheel heap baseline, and
+// cmd/messperf records the trajectory in BENCH_sim.json.
+//
 // # The characterization service
 //
 // Producing a curve family means running the full benchmark sweep — the
@@ -28,8 +44,9 @@
 // SHA-256 fingerprint of the platform spec and normalized sweep options,
 // memoizes results in memory with singleflight deduplication (concurrent
 // requests for one key run one simulation), optionally persists families
-// to disk in the release CSV format, and fans batches out over a bounded
-// worker pool. Package-level Characterize and RunExperiment share one
+// to disk in the release CSV format (sharded by key prefix, with optional
+// size-bounded LRU eviction), and fans batches out over a bounded worker
+// pool. Package-level Characterize and RunExperiment share one
 // default in-process service, so repeated calls — and a full experiment
 // registry run — perform each unique characterization exactly once;
 // RunExperimentWith threads a caller-owned service (e.g. one backed by an
@@ -216,11 +233,25 @@ type SimulatorConfig = messsim.Config
 // over a curve family, usable as a memory backend.
 type Simulator = messsim.Simulator
 
-// Engine is the discrete-event kernel shared by all models.
+// Engine is the discrete-event kernel shared by all models: pooled events,
+// a timer wheel in front of an overflow heap, and deterministic
+// (deadline, schedule-order) execution. Engines are single-goroutine;
+// Reset reuses one engine (pool and buckets kept warm) across runs.
 type Engine = sim.Engine
 
 // SimTime is a simulation timestamp in picoseconds.
 type SimTime = sim.Time
+
+// SimHandle identifies a scheduled event; Cancel is O(1) and safe after
+// the event fired (a generation counter detects recycled records).
+type SimHandle = sim.Handle
+
+// SimTimer is a re-armable one-shot timer with a fixed callback — the
+// allocation-free wake-up primitive for pacing loops.
+type SimTimer = sim.Timer
+
+// SimTicker fires a fixed callback every period, rescheduling in place.
+type SimTicker = sim.Ticker
 
 // Simulation time units.
 const (
