@@ -164,59 +164,31 @@ func BenchmarkOpenPitonBugDetection(b *testing.B) {
 // Micro-benchmarks of the hot paths.
 
 func BenchmarkDRAMReferenceThroughput(b *testing.B) {
-	// Events per second of the detailed DRAM model under saturation:
-	// the cost driver of every reference characterization.
+	// Events per second of the detailed DRAM model under saturation: the
+	// cost driver of every reference characterization. The closed loop is
+	// the shared perfload workload (pooled requests, stored callback), so
+	// -benchmem asserting ~0 allocs/op here is the zero-allocation
+	// request-lifecycle claim on the full cache-less access path.
 	spec := mess.Skylake()
 	eng := mess.NewEngine()
 	model, err := mess.NewMemoryModel(mess.ModelReference, eng, spec, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var line uint64
-	completed := 0
-	var issue func()
-	issue = func() {
-		addr := (line%48)*(1<<28+97*64) + (line/48)*64
-		line++
-		model.Access(&mess.MemRequest{Addr: addr, Op: mess.MemRead, Done: func(mess.SimTime) {
-			completed++
-			if completed < b.N {
-				issue()
-			}
-		}})
-	}
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < 256 && i < b.N; i++ {
-		issue()
-	}
-	eng.Run()
-	if completed < b.N {
-		b.Fatalf("completed %d of %d", completed, b.N)
-	}
+	perfload.ClosedLoop(eng, model, b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreqs/s")
 }
 
 func BenchmarkMessSimulatorThroughput(b *testing.B) {
 	fam := mustQuickFamilyB(b)
 	eng := mess.NewEngine()
 	model := mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
-	var line uint64
-	completed := 0
-	var issue func()
-	issue = func() {
-		addr := (line % 48 * (1 << 28)) + (line/48)*64
-		line++
-		model.Access(&mess.MemRequest{Addr: addr, Op: mess.MemRead, Done: func(mess.SimTime) {
-			completed++
-			if completed < b.N {
-				issue()
-			}
-		}})
-	}
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < 256 && i < b.N; i++ {
-		issue()
-	}
-	eng.Run()
+	perfload.ClosedLoop(eng, model, b.N)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreqs/s")
 }
 
 func BenchmarkCurveLookup(b *testing.B) {

@@ -9,15 +9,27 @@
 //
 //   - the event kernel: schedule/fire throughput on the wheel and overflow
 //     paths, cancel churn, and timer re-arming;
-//   - the memory models: events/sec of the detailed DRAM reference model
-//     and the Mess analytical simulator under closed-loop load;
+//   - the memory models: events/sec and allocs/op of the detailed DRAM
+//     reference model and the Mess analytical simulator under closed-loop
+//     load (the zero-allocation request-lifecycle claim is a tracked
+//     artifact: allocs_per_op on these rows must stay ≈ 0);
 //   - the framework: wall-clock of a Quick-scale characterization and of
 //     the fig2 experiment (full benchmark sweeps on fresh services, no
 //     caches).
 //
+// With -gate, messperf additionally compares the fresh results against a
+// previously committed artifact and exits nonzero when any kernel
+// benchmark's events/sec dropped by more than -gate-drop (default 30%, a
+// deliberately loose bound because the committed baseline and the runner
+// are different machines — it catches order-of-magnitude breakage, not
+// drift) or when any result's allocs_per_op rose above its baseline (a
+// machine-independent check: 0 → ≥1 allocs/op fails anywhere) — the CI
+// trajectory gate.
+//
 // Usage:
 //
-//	messperf [-out BENCH_sim.json] [-kernel-events 4000000] [-model-events 300000] [-skip-fig2]
+//	messperf [-out BENCH_sim.json] [-kernel-events 4000000] [-model-events 300000]
+//	         [-skip-fig2] [-gate BENCH_sim.json] [-gate-drop 0.30]
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/mess-sim/mess"
@@ -33,11 +46,21 @@ import (
 	"github.com/mess-sim/mess/internal/perfload"
 )
 
-// Result is one measured quantity of the suite.
+// Schema identifies the BENCH_sim.json format. v2 added allocs_per_op to
+// every op-counted result.
+const Schema = "mess-perf/v2"
+
+// Result is one measured quantity of the suite. AllocsPerOp follows the
+// `go test -benchmem` convention (total mallocs / ops, truncated): the
+// zero-allocation hot-path claim reads as a literal 0, while Mallocs keeps
+// the raw count so sub-integer drift (pool warmup, wheel-bucket growth)
+// stays visible in the trajectory.
 type Result struct {
-	Name         string  `json:"name"`
+	Name         string `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	AllocsPerOp  *int64  `json:"allocs_per_op,omitempty"` // nil for wall-clock-only rows
+	Mallocs      uint64  `json:"mallocs,omitempty"`
 	WallMs       float64 `json:"wall_ms"`
 	Ops          int     `json:"ops"`
 }
@@ -52,23 +75,96 @@ type Report struct {
 }
 
 func measure(name string, ops int, run func()) Result {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	run()
 	el := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	r := Result{Name: name, WallMs: float64(el.Nanoseconds()) / 1e6, Ops: ops}
 	if ops > 0 {
 		r.NsPerOp = float64(el.Nanoseconds()) / float64(ops)
 		r.EventsPerSec = float64(ops) / el.Seconds()
+		// Mallocs is a cumulative allocation count (GC never decreases
+		// it), so the delta is exactly what the run allocated.
+		r.Mallocs = m1.Mallocs - m0.Mallocs
+		allocs := int64(r.Mallocs) / int64(ops)
+		r.AllocsPerOp = &allocs
 	}
 	return r
 }
 
 // modelThroughput drives perfload's closed request loop against a memory
-// model and reports completions/sec.
+// model and reports completions/sec and allocations/op. A short warmup run
+// first brings the engine's event pool, the model's queues and the wheel
+// buckets to steady state, so the measured window reflects the sustained
+// access path rather than cold-start growth.
 func modelThroughput(name string, n int, mk func(eng *mess.Engine) mess.MemBackend) Result {
 	eng := mess.NewEngine()
 	model := mk(eng)
-	return measure(name, n, func() { perfload.ClosedLoop(eng, model, n) })
+	drv := perfload.NewClosedLoop(eng, model)
+	warm := n / 4
+	if warm > 50_000 {
+		warm = 50_000
+	}
+	drv.Run(warm)
+	return measure(name, n, func() { drv.Run(n) })
+}
+
+// gate compares fresh results against a baseline artifact and fails on two
+// kinds of regression:
+//
+//   - a kernel benchmark losing more than maxDrop of its events/sec. This
+//     is a same-class-machine comparison: the committed baseline and the
+//     runner differ, so the bound is deliberately loose — it catches
+//     order-of-magnitude breakage (an accidental O(n) queue, a lost fast
+//     path), not percent-level drift. Model and framework rows are
+//     trajectory-only for the same reason.
+//   - any result whose allocs_per_op integer rose above its baseline. This
+//     check is machine-independent (allocation counts do not depend on the
+//     runner), so a hot path regressing from 0 to ≥1 allocs/op fails
+//     anywhere.
+func gate(fresh Report, baselinePath string, maxDrop float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate: read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("gate: parse baseline: %w", err)
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var failures []string
+	for _, r := range fresh.Results {
+		was, ok := baseline[r.Name]
+		if !ok {
+			continue // new benchmark: no trajectory yet
+		}
+		if strings.HasPrefix(r.Name, "kernel/") && r.EventsPerSec > 0 && was.EventsPerSec > 0 {
+			drop := 1 - r.EventsPerSec/was.EventsPerSec
+			status := "ok"
+			if drop > maxDrop {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f events/s (%.0f%% drop > %.0f%% allowed)",
+					r.Name, was.EventsPerSec, r.EventsPerSec, 100*drop, 100*maxDrop))
+			}
+			fmt.Printf("gate %-28s %12.0f -> %12.0f events/s  %+6.1f%%  %s\n",
+				r.Name, was.EventsPerSec, r.EventsPerSec, -100*drop, status)
+		}
+		if r.AllocsPerOp != nil && was.AllocsPerOp != nil && *r.AllocsPerOp > *was.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d -> %d allocs/op",
+				r.Name, *was.AllocsPerOp, *r.AllocsPerOp))
+			fmt.Printf("gate %-28s %12d -> %12d allocs/op  FAIL\n", r.Name, *was.AllocsPerOp, *r.AllocsPerOp)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate: regression vs %s:\n  %s",
+			baselinePath, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func main() {
@@ -77,11 +173,13 @@ func main() {
 		kernelEvents = flag.Int("kernel-events", 4_000_000, "events per kernel micro-measurement")
 		modelEvents  = flag.Int("model-events", 300_000, "requests per model measurement")
 		skipFig2     = flag.Bool("skip-fig2", false, "skip the Quick-scale fig2 characterization")
+		gateAgainst  = flag.String("gate", "", "baseline BENCH_sim.json to gate kernel events/sec against")
+		gateDrop     = flag.Float64("gate-drop", 0.30, "maximum tolerated fractional events/sec drop per kernel benchmark")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema:     "mess-perf/v1",
+		Schema:     Schema,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -89,14 +187,24 @@ func main() {
 	add := func(r Result) {
 		rep.Results = append(rep.Results, r)
 		if r.EventsPerSec > 0 {
-			fmt.Printf("%-28s %10.1f ns/op %12.0f events/s %10.1f ms\n", r.Name, r.NsPerOp, r.EventsPerSec, r.WallMs)
+			var allocs int64
+			if r.AllocsPerOp != nil {
+				allocs = *r.AllocsPerOp
+			}
+			fmt.Printf("%-28s %10.1f ns/op %12.0f events/s %6d allocs/op %10.1f ms\n",
+				r.Name, r.NsPerOp, r.EventsPerSec, allocs, r.WallMs)
 		} else {
-			fmt.Printf("%-28s %38s %10.1f ms\n", r.Name, "", r.WallMs)
+			fmt.Printf("%-28s %49s %10.1f ms\n", r.Name, "", r.WallMs)
 		}
 	}
 	kernel := func(name string, load func(*mess.Engine, int)) {
 		eng := mess.NewEngine()
 		n := *kernelEvents
+		// Warm the engine first (event pool, wheel buckets, overflow
+		// array): without it, short -kernel-events runs measure mostly
+		// cold-start growth and are not comparable with a baseline taken
+		// at a different event count.
+		load(eng, n/8)
 		add(measure("kernel/"+name, n, func() { load(eng, n) }))
 	}
 
@@ -151,4 +259,11 @@ func main() {
 		cli.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *gateAgainst != "" {
+		if err := gate(rep, *gateAgainst, *gateDrop); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("gate passed: no kernel benchmark dropped more than %.0f%% vs %s\n", 100**gateDrop, *gateAgainst)
+	}
 }

@@ -41,26 +41,33 @@ func main() {
 
 // runClosedLoop keeps depth reads outstanding against the Mess simulator
 // for one simulated millisecond and reports (GB/s, mean latency ns).
+// Requests follow the pooled lifecycle: acquired from a MemRequestPool
+// with one stored completion callback (the issue time rides in Issued),
+// and recycled automatically when the simulator completes them — the
+// steady-state loop allocates nothing.
 func runClosedLoop(fam *mess.Family, depth int) (float64, float64) {
 	eng := mess.NewEngine()
 	model := mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
+	pool := mess.NewMemRequestPool()
 	dur := mess.Millisecond
 
 	completed := 0
 	var latSum mess.SimTime
 	var line uint64
 	var issue func()
+	done := func(at mess.SimTime, req *mess.MemRequest) {
+		completed++
+		latSum += at - req.Issued
+		if eng.Now() < dur {
+			issue()
+		}
+	}
 	issue = func() {
 		addr := (line%8)*(1<<28) + (line/8)*64
 		line++
-		start := eng.Now()
-		model.Access(&mess.MemRequest{Addr: addr, Op: mess.MemRead, Done: func(at mess.SimTime) {
-			completed++
-			latSum += at - start
-			if eng.Now() < dur {
-				issue()
-			}
-		}})
+		req := pool.Get(addr, mess.MemRead, done)
+		req.Issued = eng.Now()
+		model.Access(req)
 	}
 	for i := 0; i < depth; i++ {
 		issue()

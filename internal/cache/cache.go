@@ -94,11 +94,14 @@ func (c *Config) Validate() error {
 }
 
 // Hierarchy is the shared on-chip model; create one per platform and one
-// Port per core.
+// Port per core. It owns the engine's request pool: every transaction its
+// ports issue downstream is a pooled record, released when the backend
+// completes it.
 type Hierarchy struct {
 	eng     *sim.Engine
 	cfg     Config
 	backend mem.Backend
+	pool    *mem.RequestPool
 	rng     uint64
 }
 
@@ -108,15 +111,24 @@ func New(eng *sim.Engine, cfg Config, backend mem.Backend) *Hierarchy {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Hierarchy{eng: eng, cfg: cfg, backend: backend, rng: cfg.Seed}
+	return &Hierarchy{eng: eng, cfg: cfg, backend: backend, pool: mem.NewRequestPool(), rng: cfg.Seed}
 }
 
 // Config reports the hierarchy configuration (after defaulting).
 func (h *Hierarchy) Config() Config { return h.cfg }
 
-// Port returns a per-core issue port.
+// Pool exposes the hierarchy's request pool (diagnostics and tests: a
+// drained simulation must report Live() == 0).
+func (h *Hierarchy) Pool() *mem.RequestPool { return h.pool }
+
+// Port returns a per-core issue port. The port's downstream completion
+// callbacks are bound once here — request issue captures nothing.
 func (h *Hierarchy) Port(coreID int) *Port {
-	return &Port{h: h, id: coreID}
+	p := &Port{h: h, id: coreID}
+	p.loadDoneFn = p.loadDone
+	p.storeDoneFn = p.storeDone
+	p.wbDoneFn = p.wbDone
+	return p
 }
 
 func (h *Hierarchy) nextRand() uint64 {
@@ -140,6 +152,13 @@ type Port struct {
 	id         int
 	inflight   int // demand misses holding MSHRs
 	wbInflight int // posted writebacks holding write-buffer slots
+
+	// Stored completion callbacks (bound at construction): the backend
+	// invokes these with the pooled request, whose User slot carries the
+	// core's own load-to-use callback.
+	loadDoneFn  mem.DoneFunc
+	storeDoneFn mem.DoneFunc
+	wbDoneFn    mem.DoneFunc
 
 	// OnFree, when set, is invoked every time an MSHR or write-buffer
 	// slot is released. Issue engines that stall on FreeMSHR/FreeWB must
@@ -190,13 +209,18 @@ func (p *Port) Load(addr uint64, done func(at sim.Time)) {
 		panic("cache: Load issued with no free MSHR")
 	}
 	p.inflight++
-	p.request(addr, mem.Read, func(at sim.Time) {
-		p.releaseMSHR()
-		p.finish(at, done)
-	})
+	p.request(addr, mem.Read, p.loadDoneFn, done)
 	if p.h.cfg.EvictCleanAsDirty {
 		p.buggedWriteback(addr)
 	}
+}
+
+// loadDone is the backend completion of a demand load: free the MSHR, then
+// deliver the core's callback (req.User) after the inbound hop.
+func (p *Port) loadDone(at sim.Time, req *mem.Request) {
+	user := req.User
+	p.releaseMSHR()
+	p.finish(at, user)
 }
 
 // Store issues one store under the configured write policy. done fires when
@@ -214,7 +238,7 @@ func (p *Port) Store(addr uint64, done func(at sim.Time)) {
 			panic("cache: Store issued with no free write buffer")
 		}
 		p.wbInflight++
-		p.request(addr, mem.Write, func(sim.Time) { p.releaseWB() })
+		p.request(addr, mem.Write, p.wbDoneFn, nil)
 		p.completeOnChip(done)
 		return
 	}
@@ -224,12 +248,22 @@ func (p *Port) Store(addr uint64, done func(at sim.Time)) {
 	}
 	p.inflight++
 	p.wbInflight++
-	p.request(addr, mem.Read, func(at sim.Time) {
-		p.writebackFor(addr)
-		p.releaseMSHR()
-		p.finish(at, done)
-	})
+	p.request(addr, mem.Read, p.storeDoneFn, done)
 }
+
+// storeDone is the backend completion of a write-allocate RFO fill: emit
+// the paired writeback (the store address rides in req.Addr), free the
+// MSHR, then deliver the core's callback.
+func (p *Port) storeDone(at sim.Time, req *mem.Request) {
+	addr, user := req.Addr, req.User
+	p.writebackFor(addr)
+	p.releaseMSHR()
+	p.finish(at, user)
+}
+
+// wbDone is the backend completion of a posted write draining: free the
+// write-buffer slot reserved at issue.
+func (p *Port) wbDone(sim.Time, *mem.Request) { p.releaseWB() }
 
 // StoreNT issues a non-temporal (streaming) store: one memory write, no RFO.
 func (p *Port) StoreNT(addr uint64, done func(at sim.Time)) {
@@ -238,7 +272,7 @@ func (p *Port) StoreNT(addr uint64, done func(at sim.Time)) {
 		panic("cache: StoreNT issued with no free write buffer")
 	}
 	p.wbInflight++
-	p.request(addr, mem.Write, func(sim.Time) { p.releaseWB() })
+	p.request(addr, mem.Write, p.wbDoneFn, nil)
 	p.completeOnChip(done)
 }
 
@@ -253,7 +287,7 @@ func (p *Port) writebackFor(addr uint64) {
 		p.releaseWB()
 		return
 	}
-	p.request(addr-lag, mem.Write, func(sim.Time) { p.releaseWB() })
+	p.request(addr-lag, mem.Write, p.wbDoneFn, nil)
 }
 
 // buggedWriteback models the OpenPiton clean-eviction bug: the fill caused
@@ -265,24 +299,24 @@ func (p *Port) buggedWriteback(addr uint64) {
 	if addr < lag {
 		return
 	}
-	p.request(addr-lag, mem.Write, nil)
+	p.request(addr-lag, mem.Write, nil, nil)
 }
 
-// request sends a transaction to the backend after the outbound on-chip
-// delay. The backend completion time is the controller-level completion;
-// the inbound on-chip delay is added by finish for loads.
-func (p *Port) request(addr uint64, op mem.Op, done func(at sim.Time)) {
+// request acquires a pooled transaction and sends it to the backend after
+// the outbound on-chip delay (via the record's own timed hand-off — no
+// per-request closure). The backend completion time is the controller-level
+// completion; the inbound on-chip delay is added by finish for loads.
+func (p *Port) request(addr uint64, op mem.Op, done mem.DoneFunc, user func(at sim.Time)) {
+	req := p.h.pool.Get(addr, op, done)
+	req.Src = p.id
+	req.User = user
 	outbound := p.h.cfg.OnChipLatency / 2
-	req := &mem.Request{Addr: addr, Op: op, Src: p.id, Done: done}
 	if outbound == 0 {
 		req.Issued = p.h.eng.Now()
 		p.h.backend.Access(req)
 		return
 	}
-	p.h.eng.After(outbound, func() {
-		req.Issued = p.h.eng.Now()
-		p.h.backend.Access(req)
-	})
+	req.SendAt(p.h.eng, p.h.backend, p.h.eng.Now()+outbound)
 }
 
 // finish delivers a memory completion to the core after the inbound on-chip

@@ -18,10 +18,7 @@ type fakeBackend struct {
 func (f *fakeBackend) Access(req *mem.Request) {
 	f.c.Add(req.Op, req.Bytes())
 	f.reqs = append(f.reqs, *req)
-	if done := req.Done; done != nil {
-		at := f.eng.Now() + f.delay
-		f.eng.Schedule(at, func() { done(at) })
-	}
+	req.CompleteAt(f.eng, f.eng.Now()+f.delay)
 }
 
 func setup(cfg Config) (*sim.Engine, *fakeBackend, *Hierarchy) {

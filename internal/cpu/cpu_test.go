@@ -19,10 +19,7 @@ type fixedBackend struct {
 
 func (f *fixedBackend) Access(req *mem.Request) {
 	f.c.Add(req.Op, req.Bytes())
-	if done := req.Done; done != nil {
-		at := f.eng.Now() + f.delay
-		f.eng.Schedule(at, func() { done(at) })
-	}
+	req.CompleteAt(f.eng, f.eng.Now()+f.delay)
 }
 
 func rig(memLat sim.Time, ccfg cache.Config) (*sim.Engine, *fixedBackend, *cache.Hierarchy) {

@@ -112,6 +112,11 @@ type KernelCore struct {
 	nextAt   sim.Time
 	wake     *sim.Timer // pacing alarm: re-armed in place, never re-allocated
 
+	// Completion callbacks, allocated once and passed to the port for
+	// every operation: issuing a line-step captures nothing.
+	resumeFn  func(sim.Time)
+	depDoneFn func(sim.Time)
+
 	pendingOps []pendingOp // ops of the current line-step not yet issued
 
 	startAt sim.Time
@@ -145,6 +150,8 @@ func NewKernelCore(eng *sim.Engine, port *cache.Port, k Kernel, cfg CoreConfig) 
 		rng:    cfg.Seed,
 	}
 	c.wake = eng.NewTimer(c.beginStep)
+	c.resumeFn = func(sim.Time) { c.tryIssue() }
+	c.depDoneFn = c.dependentLoadDone
 	return c
 }
 
@@ -279,17 +286,17 @@ func (c *KernelCore) issue(op pendingOp) {
 	addr := c.addrFor(op.arr)
 	if op.isStore {
 		if c.kernel.NonTemporal {
-			c.port.StoreNT(addr, func(sim.Time) { c.tryIssue() })
+			c.port.StoreNT(addr, c.resumeFn)
 		} else {
-			c.port.Store(addr, func(sim.Time) { c.tryIssue() })
+			c.port.Store(addr, c.resumeFn)
 		}
 		return
 	}
 	if c.kernel.Dependent {
-		c.port.Load(addr, func(at sim.Time) { c.dependentLoadDone(at) })
+		c.port.Load(addr, c.depDoneFn)
 		return
 	}
-	c.port.Load(addr, func(sim.Time) { c.tryIssue() })
+	c.port.Load(addr, c.resumeFn)
 }
 
 // dependentLoadDone resumes a serialized kernel once its load returns.

@@ -77,11 +77,18 @@ func (c *Config) MaxTheoreticalGBs() float64 {
 	return link
 }
 
-// Expander is the device model; it implements mem.Backend.
+// Expander is the device model; it implements mem.Backend. Device-side
+// transactions come from the expander's own request pool: each host access
+// acquires one inner DDR request linked back via Parent, instead of
+// allocating a fresh request plus completion closures per access.
 type Expander struct {
-	eng *sim.Engine
-	cfg Config
-	ddr *dram.System
+	eng  *sim.Engine
+	cfg  Config
+	ddr  *dram.System
+	pool *mem.RequestPool
+
+	readDoneFn  mem.DoneFunc
+	writeDoneFn mem.DoneFunc
 
 	txFree sim.Time
 	rxFree sim.Time
@@ -92,7 +99,10 @@ func New(eng *sim.Engine, cfg Config) *Expander {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Expander{eng: eng, cfg: cfg, ddr: dram.New(eng, cfg.DDR)}
+	e := &Expander{eng: eng, cfg: cfg, ddr: dram.New(eng, cfg.DDR), pool: mem.NewRequestPool()}
+	e.readDoneFn = e.readDone
+	e.writeDoneFn = e.writeDone
+	return e
 }
 
 // Config reports the expander configuration.
@@ -129,30 +139,33 @@ func (e *Expander) Access(req *mem.Request) {
 	if req.Op == mem.Read {
 		// Request flit over TX, DDR read, data over RX, back to host.
 		txDone := e.occupyTx(now, hdr)
-		arrive := txDone + prop
-		inner := &mem.Request{Addr: req.Addr, Op: mem.Read, Src: req.Src}
-		inner.Done = func(ddrDone sim.Time) {
-			rxDone := e.occupyRx(ddrDone, req.Bytes()+hdr)
-			at := rxDone + prop
-			if done := req.Done; done != nil {
-				e.eng.ScheduleTimed(at, done)
-			}
-		}
-		e.eng.Schedule(arrive, func() { e.ddr.Access(inner) })
+		inner := e.pool.Get(req.Addr, mem.Read, e.readDoneFn)
+		inner.Src = req.Src
+		inner.Parent = req
+		inner.SendAt(e.eng, e.ddr, txDone+prop)
 		return
 	}
 	// Write: data over TX, DDR write; completion flit over RX.
 	txDone := e.occupyTx(now, req.Bytes()+hdr)
-	arrive := txDone + prop
-	inner := &mem.Request{Addr: req.Addr, Op: mem.Write, Src: req.Src}
-	inner.Done = func(ddrDone sim.Time) {
-		rxDone := e.occupyRx(ddrDone, hdr)
-		at := rxDone + prop
-		if done := req.Done; done != nil {
-			e.eng.ScheduleTimed(at, done)
-		}
-	}
-	e.eng.Schedule(arrive, func() { e.ddr.Access(inner) })
+	inner := e.pool.Get(req.Addr, mem.Write, e.writeDoneFn)
+	inner.Src = req.Src
+	inner.Parent = req
+	inner.SendAt(e.eng, e.ddr, txDone+prop)
+}
+
+// readDone completes a device-side read: data flits ride RX back to the
+// host, then the host request completes (and returns to its pool).
+func (e *Expander) readDone(ddrDone sim.Time, inner *mem.Request) {
+	host := inner.Parent
+	rxDone := e.occupyRx(ddrDone, host.Bytes()+e.cfg.HeaderBytes)
+	host.CompleteAt(e.eng, rxDone+e.cfg.PropagationOneWay)
+}
+
+// writeDone completes a device-side write: the completion flit rides RX.
+func (e *Expander) writeDone(ddrDone sim.Time, inner *mem.Request) {
+	host := inner.Parent
+	rxDone := e.occupyRx(ddrDone, e.cfg.HeaderBytes)
+	host.CompleteAt(e.eng, rxDone+e.cfg.PropagationOneWay)
 }
 
 var _ mem.Backend = (*Expander)(nil)

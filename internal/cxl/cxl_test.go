@@ -32,7 +32,7 @@ func TestUnloadedReadLatency(t *testing.T) {
 	eng := sim.New()
 	e := New(eng, Default())
 	var lat sim.Time
-	e.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at }})
+	e.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { lat = at }})
 	eng.Run()
 	ns := lat.Nanoseconds()
 	// Two propagation crossings + DDR access + flit time: ≈190 ns.
@@ -65,7 +65,7 @@ func pump(writeFrac float64, dur sim.Time) float64 {
 			addr := (line%8)*(1<<28+16<<10) + (line/8)*mem.LineSize
 			line++
 			outstanding++
-			e.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) {
+			e.Access(&mem.Request{Addr: addr, Op: op, Done: func(_ sim.Time, _ *mem.Request) {
 				outstanding--
 				completed++
 				inject()

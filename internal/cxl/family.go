@@ -111,18 +111,20 @@ func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64,
 	eng := sim.New()
 	backend := makeBackend(eng)
 	counting := mem.NewCounting(backend)
+	pool := mem.NewRequestPool()
 
 	// Open-loop injector: deterministic spacing, Bresenham write mix,
 	// sequential addresses across several streams. Cap outstanding to
 	// bound queue growth past saturation. The fixed injection rate rides
-	// on a kernel Ticker (one pooled event re-armed in place).
+	// on a kernel Ticker (one pooled event re-armed in place) and the
+	// requests on a point-local pool (records recycled on completion).
 	interval := sim.FromNanoseconds(float64(mem.LineSize) / rate)
 	const maxOutstanding = 256
 	outstanding := 0
 	var line uint64
 	acc := 0.0
 	deadline := o.Warmup + o.Measure
-	injectDone := func(sim.Time) { outstanding-- }
+	injectDone := func(sim.Time, *mem.Request) { outstanding-- }
 	injectOne := func() {
 		if outstanding < maxOutstanding {
 			acc += writeFrac
@@ -134,7 +136,7 @@ func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64,
 			addr := (line%8)*(1<<28+16<<10) + (line/8)*mem.LineSize
 			line++
 			outstanding++
-			counting.Access(&mem.Request{Addr: addr, Op: op, Done: injectDone})
+			counting.Access(pool.Get(addr, op, injectDone))
 		}
 	}
 	var tick *sim.Ticker
@@ -156,7 +158,7 @@ func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64,
 	var probeStart sim.Time
 	probeLine := uint64(0)
 	var probe func()
-	probeDone := func(at sim.Time) {
+	probeDone := func(at sim.Time, _ *mem.Request) {
 		if probeStart >= o.Warmup {
 			probeLatSum += at - probeStart
 			probeN++
@@ -170,7 +172,7 @@ func measureDevicePoint(makeBackend mem.BackendFactory, writeFrac, rate float64,
 		probeLine = probeLine*1664525 + 1013904223
 		addr := uint64(1)<<41 + (probeLine%(1<<18))*mem.LineSize
 		probeStart = eng.Now()
-		counting.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: probeDone})
+		counting.Access(pool.Get(addr, mem.Read, probeDone))
 	}
 	probe()
 

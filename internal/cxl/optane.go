@@ -75,10 +75,7 @@ func (o *Optane) Access(req *mem.Request) {
 		svc := sim.FromNanoseconds(bytes / (o.cfg.WriteGBs * float64(o.cfg.Modules)))
 		start := maxT(now, o.writeFree)
 		o.writeFree = start + svc
-		if done := req.Done; done != nil {
-			at := start + o.cfg.WriteLatency
-			o.eng.ScheduleTimed(at, done)
-		}
+		req.CompleteAt(o.eng, start+o.cfg.WriteLatency)
 		return
 	}
 	svc := sim.FromNanoseconds(bytes / (o.cfg.ReadGBs * float64(o.cfg.Modules)))
@@ -88,10 +85,7 @@ func (o *Optane) Access(req *mem.Request) {
 		start += o.cfg.WriteStall
 	}
 	o.readFree = start + svc
-	if done := req.Done; done != nil {
-		at := start + svc + o.cfg.ReadLatency
-		o.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(o.eng, start+svc+o.cfg.ReadLatency)
 }
 
 func maxT(a, b sim.Time) sim.Time {

@@ -11,7 +11,7 @@ func TestOptaneIdleReadLatency(t *testing.T) {
 	eng := sim.New()
 	o := NewOptane(eng, DefaultOptane())
 	var lat sim.Time
-	o.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at }})
+	o.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { lat = at }})
 	eng.Run()
 	ns := lat.Nanoseconds()
 	if ns < 165 || ns > 190 {
@@ -39,7 +39,7 @@ func optanePump(writeFrac float64) (readBW, writeBW float64) {
 			addr := (line % (1 << 22)) * mem.LineSize
 			line++
 			outstanding++
-			o.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) {
+			o.Access(&mem.Request{Addr: addr, Op: op, Done: func(_ sim.Time, _ *mem.Request) {
 				outstanding--
 				if op == mem.Read {
 					rbytes += mem.LineSize

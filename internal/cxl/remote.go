@@ -15,10 +15,12 @@ import (
 // saturated-bandwidth range, but a higher unloaded latency (the paper
 // measures ≈28 ns over the CXL device at low load).
 type RemoteSocket struct {
-	eng  *sim.Engine
-	hop  sim.Time
-	ddr  *dram.System
-	peak float64
+	eng    *sim.Engine
+	hop    sim.Time
+	ddr    *dram.System
+	peak   float64
+	pool   *mem.RequestPool
+	doneFn mem.DoneFunc
 }
 
 // RemoteSocketConfig parameterizes the emulation.
@@ -46,28 +48,33 @@ func DefaultRemoteSocket() RemoteSocketConfig {
 
 // NewRemoteSocket builds the model.
 func NewRemoteSocket(eng *sim.Engine, cfg RemoteSocketConfig) *RemoteSocket {
-	return &RemoteSocket{
+	r := &RemoteSocket{
 		eng:  eng,
 		hop:  cfg.HopOneWay,
 		ddr:  dram.New(eng, cfg.DDR),
 		peak: cfg.DDR.PeakBandwidthGBs(),
+		pool: mem.NewRequestPool(),
 	}
+	r.doneFn = r.remoteDone
+	return r
 }
 
 // PeakBandwidthGBs reports the remote memory's theoretical bandwidth.
 func (r *RemoteSocket) PeakBandwidthGBs() float64 { return r.peak }
 
 // Access implements mem.Backend: a hop out, the remote DDR access, a hop
-// back.
+// back. The socket-side transaction is a pooled inner request linked to
+// the host request via Parent.
 func (r *RemoteSocket) Access(req *mem.Request) {
-	inner := &mem.Request{Addr: req.Addr, Op: req.Op, Src: req.Src}
-	inner.Done = func(ddrDone sim.Time) {
-		at := ddrDone + r.hop
-		if done := req.Done; done != nil {
-			r.eng.ScheduleTimed(at, done)
-		}
-	}
-	r.eng.Schedule(r.eng.Now()+r.hop, func() { r.ddr.Access(inner) })
+	inner := r.pool.Get(req.Addr, req.Op, r.doneFn)
+	inner.Src = req.Src
+	inner.Parent = req
+	inner.SendAt(r.eng, r.ddr, r.eng.Now()+r.hop)
+}
+
+// remoteDone completes the host request one hop after the remote DDR does.
+func (r *RemoteSocket) remoteDone(ddrDone sim.Time, inner *mem.Request) {
+	inner.Parent.CompleteAt(r.eng, ddrDone+r.hop)
 }
 
 // RemoteSocketFamily measures the remote-socket emulation's curves with the

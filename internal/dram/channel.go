@@ -218,6 +218,15 @@ func (c *channel) decide() {
 	idx := c.pickFRFCFS(*q, !writes)
 	cr := (*q)[idx]
 	*q = append((*q)[:idx], (*q)[idx+1:]...)
+	if !writes && idx == 0 {
+		// The tracked head is leaving the queue: drop the reference now.
+		// Holding it past issue would alias a recycled pool record — a new
+		// request reusing this record could inherit the dead head's bypass
+		// count. (Pre-pool, distinct allocations made the q[0] pointer
+		// comparison in pickFRFCFS reset implicitly.)
+		c.readHead = nil
+		c.readHeadBypass = 0
+	}
 
 	c.issue(cr, writes)
 	c.kick()
@@ -406,19 +415,16 @@ func (c *channel) issue(cr chanReq, isWrite bool) {
 	c.rowStats.add(outcome)
 	c.counters.Add(cr.req.Op, cr.req.Bytes())
 
-	done := cr.req.Done
 	if isWrite {
-		if done != nil {
-			c.eng.ScheduleTimed(dataEnd, done)
-		}
+		// Posted write: completion (= write-queue acceptance upstream,
+		// drain here) releases the pooled record at the burst end.
+		cr.req.CompleteAt(c.eng, dataEnd)
 		return
 	}
 	completion := dataEnd + c.cfg.CtrlLatency
 	c.readLatSum += completion - cr.at
 	c.readLatN++
-	if done != nil {
-		c.eng.ScheduleTimed(completion, done)
-	}
+	cr.req.CompleteAt(c.eng, completion)
 }
 
 // rankActConstraint reports the earliest time a new ACT may issue in the

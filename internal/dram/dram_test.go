@@ -101,7 +101,7 @@ func singleRead(t *testing.T, cfg Config, addr uint64) sim.Time {
 	sys := New(eng, cfg)
 	var done sim.Time = -1
 	issue := eng.Now()
-	sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) { done = at }})
+	sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { done = at }})
 	eng.RunUntil(sim.Microsecond)
 	if done < 0 {
 		t.Fatal("read never completed")
@@ -124,12 +124,12 @@ func TestRowHitLatency(t *testing.T) {
 	eng := sim.New()
 	sys := New(eng, cfg)
 	var first, second sim.Time
-	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { first = at }})
+	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { first = at }})
 	eng.RunUntil(sim.Microsecond / 2)
 	issue := eng.Now()
 	// Same channel, same row, next column.
 	addr := uint64(cfg.Channels) * mem.LineSize
-	sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) { second = at }})
+	sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { second = at }})
 	eng.RunUntil(sim.Microsecond)
 	if first == 0 || second == 0 {
 		t.Fatal("reads did not complete")
@@ -150,7 +150,7 @@ func TestRowConflictLatency(t *testing.T) {
 	cfg.IdleClose = 0 // keep rows open so the conflict is guaranteed
 	eng := sim.New()
 	sys := New(eng, cfg)
-	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(sim.Time) {}})
+	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(_ sim.Time, _ *mem.Request) {}})
 	eng.RunUntil(sim.Microsecond / 2)
 	issue := eng.Now()
 	// Same channel and bank, different row: stride by channels×linesPerRow×banks...
@@ -158,7 +158,7 @@ func TestRowConflictLatency(t *testing.T) {
 	m := NewMapper(&cfg)
 	stride := uint64(m.Channels*m.LinesPerRow*m.Banks*m.Ranks) * mem.LineSize
 	var done sim.Time
-	sys.Access(&mem.Request{Addr: stride, Op: mem.Read, Done: func(at sim.Time) { done = at }})
+	sys.Access(&mem.Request{Addr: stride, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { done = at }})
 	eng.RunUntil(sim.Microsecond)
 	if done == 0 {
 		t.Fatal("conflict read did not complete")
@@ -180,11 +180,11 @@ func TestIdleCloseTurnsConflictIntoEmpty(t *testing.T) {
 	cfg.IdleClose = 200 * sim.Nanosecond
 	eng := sim.New()
 	sys := New(eng, cfg)
-	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(sim.Time) {}})
+	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(_ sim.Time, _ *mem.Request) {}})
 	eng.RunUntil(sim.Microsecond / 2) // way past the idle-close timeout
 	m := NewMapper(&cfg)
 	stride := uint64(m.Channels*m.LinesPerRow*m.Banks*m.Ranks) * mem.LineSize
-	sys.Access(&mem.Request{Addr: stride, Op: mem.Read, Done: func(sim.Time) {}})
+	sys.Access(&mem.Request{Addr: stride, Op: mem.Read, Done: func(_ sim.Time, _ *mem.Request) {}})
 	eng.RunUntil(sim.Microsecond)
 	if s := sys.RowStats(); s.Misses != 0 || s.Empties != 2 {
 		t.Fatalf("row stats = %+v, want 2 empties (idle close)", s)
@@ -208,7 +208,7 @@ func floodReads(cfg Config, n, depth, streams int) float64 {
 		issueOne = func() {
 			addr := next
 			next += mem.LineSize
-			sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) {
+			sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) {
 				completed++
 				end = at
 				if completed+sys.Queued() < n {
@@ -268,7 +268,7 @@ func TestSequentialStreamHitRateHigh(t *testing.T) {
 	issueOne = func() {
 		addr := next
 		next += mem.LineSize
-		sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) {
+		sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) {
 			if next < uint64(n)*mem.LineSize {
 				issueOne()
 			}
@@ -289,7 +289,7 @@ func TestWriteCompletesAtDrain(t *testing.T) {
 	eng := sim.New()
 	sys := New(eng, cfg)
 	var ack sim.Time = -1
-	sys.Access(&mem.Request{Addr: 0, Op: mem.Write, Done: func(at sim.Time) { ack = at }})
+	sys.Access(&mem.Request{Addr: 0, Op: mem.Write, Done: func(at sim.Time, _ *mem.Request) { ack = at }})
 	eng.RunUntil(sim.Microsecond)
 	if ack < 0 {
 		t.Fatal("write never drained")
@@ -322,7 +322,7 @@ func TestCountersConservation(t *testing.T) {
 		} else {
 			reads++
 		}
-		sys.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) {}})
+		sys.Access(&mem.Request{Addr: addr, Op: op, Done: func(_ sim.Time, _ *mem.Request) {}})
 	}
 	eng.Run()
 	c := sys.Counters()
@@ -349,7 +349,7 @@ func TestRefreshBlocksRank(t *testing.T) {
 	eng.RunUntil(refAt + sim.Nanosecond)
 	var done sim.Time
 	issue := eng.Now()
-	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { done = at }})
+	sys.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { done = at }})
 	eng.RunUntil(refAt + 2*cfg.Timing.RFC)
 	if done == 0 {
 		t.Fatal("read under refresh never completed")
@@ -371,7 +371,7 @@ func TestWriteDrainWatermarks(t *testing.T) {
 	// Saturate with writes only; they must all eventually drain.
 	for i := 0; i < 100; i++ {
 		addr := uint64(i) * mem.LineSize
-		sys.Access(&mem.Request{Addr: addr, Op: mem.Write, Done: func(sim.Time) {}})
+		sys.Access(&mem.Request{Addr: addr, Op: mem.Write, Done: func(_ sim.Time, _ *mem.Request) {}})
 	}
 	eng.Run()
 	if q := sys.Queued(); q != 0 {
@@ -397,7 +397,7 @@ func TestMixedTrafficCompletes(t *testing.T) {
 			if rng&1 == 0 {
 				op = mem.Write
 			}
-			sys.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) { doneCount++ }})
+			sys.Access(&mem.Request{Addr: addr, Op: op, Done: func(_ sim.Time, _ *mem.Request) { doneCount++ }})
 		}
 		eng.Run()
 		return doneCount == n && sys.Queued() == 0
@@ -427,7 +427,7 @@ func TestFAWLimitsRandomActivates(t *testing.T) {
 		// access is a row miss needing an ACT.
 		addr := uint64(next)*rowStride + uint64(next%cfg.Banks)*uint64(m.Channels*m.LinesPerRow)*mem.LineSize
 		next++
-		sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) {
+		sys.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) {
 			completed++
 			end = at
 			if next < n {

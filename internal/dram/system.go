@@ -37,8 +37,9 @@ func (s *System) Config() Config { return s.cfg }
 // PeakBandwidthGBs reports the theoretical maximum bandwidth.
 func (s *System) PeakBandwidthGBs() float64 { return s.cfg.PeakBandwidthGBs() }
 
-// Access submits one transaction. The request's Done callback fires at data
-// return for reads, or at controller acceptance for (posted) writes.
+// Access submits one transaction, taking ownership of the request. Its
+// completion fires at data return for reads, or at controller acceptance
+// for (posted) writes; the record returns to its pool either way.
 func (s *System) Access(req *mem.Request) {
 	loc := s.mapper.Map(req.Addr)
 	s.chans[loc.Channel].enqueue(req, loc)

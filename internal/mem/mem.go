@@ -3,6 +3,42 @@
 // side (cores + cache hierarchy) and the memory side (detailed DRAM model,
 // the behavioural model zoo, the CXL expander and the Mess analytical
 // simulator).
+//
+// # The request lifecycle
+//
+// Requests are pooled, mirroring the simulation kernel's event pool: the
+// per-transaction record is the dominant allocation on the simulated access
+// path once the kernel itself is allocation-free, and the Mess methodology
+// multiplies that cost across thousands of sweep points per curve family.
+// The contract:
+//
+//   - the issuer acquires a record from a RequestPool (one pool per
+//     simulation instance — pools, like engines, are single-goroutine) and
+//     fills in address, op and completion callback;
+//   - Access transfers ownership to the backend. From that point the issuer
+//     must not retain the pointer past completion; use Handle for any
+//     monitoring reference that may outlive the request;
+//   - the backend completes the request exactly once — Complete(at) now, or
+//     CompleteAt(eng, at) to schedule completion — which invokes Done and
+//     then releases the record back to its pool automatically. Completing a
+//     pooled record twice panics;
+//   - wrapper backends (CountingBackend, trace.Capture) observe and forward;
+//     they never complete. Protocol models that issue a secondary
+//     device-side transaction (the CXL expander, the remote-socket
+//     emulation) acquire the inner request from their own pool and link the
+//     original via Parent, completing it from the inner request's Done.
+//
+// Completion is a stored callback plus context: Done is invoked as
+// Done(at, req), so per-request state (address, issue time, the Ctx word,
+// the User callback, the Parent link) rides in the record instead of in a
+// captured closure. Each pooled record carries prebuilt fire and deliver
+// closures, so scheduling a completion (CompleteAt) or a timed hand-off
+// (SendAt) allocates nothing in steady state: issue and complete are
+// 0 allocs/op once the pool is warm.
+//
+// Requests constructed directly (&Request{...}) still work everywhere a
+// pooled record does — Complete simply skips the release — so external
+// callers and tests keep the literal form.
 package mem
 
 import (
@@ -33,17 +69,55 @@ func (o Op) String() string {
 	return "write"
 }
 
+// DoneFunc is a completion callback: the backend invokes it exactly once
+// when the transaction completes, with the completion time and the request
+// itself. Per-request context (Addr, Issued, Ctx, User, Parent) is read off
+// the request, which is what lets one stored DoneFunc serve every request
+// of a component. The request is released back to its pool when the
+// callback returns: the callback may read the record but must not retain
+// the pointer.
+type DoneFunc func(at sim.Time, req *Request)
+
 // Request is one memory transaction. Requests are issued asynchronously:
-// the backend calls Done exactly once when the transaction completes.
-// For reads, completion is data return; writes are posted and complete when
-// the controller accepts them into its write queue.
+// the backend completes each request exactly once (for reads at data
+// return; writes are posted and complete when the controller accepts them
+// into its write queue). Acquire requests from a RequestPool on hot paths;
+// literal construction remains valid for cold ones.
 type Request struct {
 	Addr   uint64
 	Op     Op
 	Size   int // bytes; 0 means LineSize
 	Issued sim.Time
-	Done   func(at sim.Time)
 	Src    int // requester (core) id, for accounting; -1 if unknown
+
+	// Done is the completion callback; nil means fire-and-forget (the
+	// record is still released on completion).
+	Done DoneFunc
+	// Ctx is a caller-owned context word threaded to Done, for issuers
+	// that multiplex one callback over unrelated streams.
+	Ctx uint64
+	// User is a second, caller-level completion slot: layered issuers (the
+	// cache port) keep their own bookkeeping in Done and store the core's
+	// load-to-use callback here. It is not invoked by the pool — the Done
+	// callback decides when and whether to fire it, typically after the
+	// record is gone, which is why it takes only the completion time.
+	User func(at sim.Time)
+	// Parent links the upstream request a wrapper model is serving: the
+	// CXL expander and remote-socket emulation acquire a device-side inner
+	// request and complete Parent from its Done callback.
+	Parent *Request
+
+	pool     *RequestPool // owning pool; nil for literal requests
+	gen      uint32       // bumped on release; Handles must match to act
+	inflight bool         // acquired and not yet released
+	next     *Request     // free-list link
+
+	// Prebuilt per-record closures (created once per record, reused across
+	// recycles) — the allocation-free forms of "schedule my completion"
+	// and "deliver me to a backend later".
+	fire    func(sim.Time)
+	deliver func(sim.Time)
+	dest    Backend // delivery target for SendAt
 }
 
 // Bytes reports the transaction size, defaulting to LineSize.
@@ -54,12 +128,162 @@ func (r *Request) Bytes() int {
 	return r.Size
 }
 
+// Complete finishes the request at time at: it invokes Done (when set) and
+// then releases the record to its pool. Backends call Complete directly for
+// same-instant completion and CompleteAt to schedule it. Completing a
+// pooled request that was already released panics — a double Done is a
+// protocol bug that would otherwise corrupt an unrelated recycled request.
+func (r *Request) Complete(at sim.Time) {
+	if r.pool != nil && !r.inflight {
+		panic("mem: request completed after release (double completion?)")
+	}
+	if done := r.Done; done != nil {
+		done(at, r)
+	}
+	r.release()
+}
+
+// CompleteAt schedules the request's completion at absolute time at, using
+// the record's prebuilt callback (no capturing closure). A request with no
+// Done callback has no observer: its record is released immediately rather
+// than holding a pool slot and an engine event until at.
+func (r *Request) CompleteAt(eng *sim.Engine, at sim.Time) {
+	if r.Done == nil {
+		r.release()
+		return
+	}
+	eng.ScheduleTimed(at, r.fireFn())
+}
+
+// SendAt schedules delivery of the request to a backend at absolute time
+// at — the timed hand-off of on-chip and link hops. Issued is stamped with
+// the delivery time. The record's prebuilt deliver closure makes the hop
+// allocation-free.
+func (r *Request) SendAt(eng *sim.Engine, to Backend, at sim.Time) {
+	r.dest = to
+	eng.ScheduleTimed(at, r.deliverFn())
+}
+
+func (r *Request) fireFn() func(sim.Time) {
+	if r.fire == nil { // literal request: build on first use
+		r.fire = func(at sim.Time) { r.Complete(at) }
+	}
+	return r.fire
+}
+
+func (r *Request) deliverFn() func(sim.Time) {
+	if r.deliver == nil {
+		r.deliver = func(at sim.Time) {
+			r.Issued = at
+			r.dest.Access(r)
+		}
+	}
+	return r.deliver
+}
+
+// release returns the record to its pool; literal requests are untouched.
+// Releasing a record that is already back on the free list panics — every
+// double-completion path (Complete, CompleteAt with or without a callback)
+// funnels through here, so none can silently self-link the free list.
+func (r *Request) release() {
+	p := r.pool
+	if p == nil {
+		return
+	}
+	if !r.inflight {
+		panic("mem: request released after release (double completion?)")
+	}
+	r.gen++
+	r.inflight = false
+	r.Done, r.User, r.Parent, r.dest = nil, nil, nil, nil
+	r.next = p.free
+	p.free = r
+	p.live--
+}
+
+// Handle returns a stale-safe reference to the request: once the record is
+// released (and possibly recycled for an unrelated transaction), the handle
+// reads as dead instead of aliasing the new occupant.
+func (r *Request) Handle() RequestHandle { return RequestHandle{req: r, gen: r.gen} }
+
+// RequestHandle is a generation-counted reference to a pooled request. The
+// zero handle is valid and dead. Handles are values; copying one copies the
+// right to observe.
+type RequestHandle struct {
+	req *Request
+	gen uint32
+}
+
+// Live reports whether the handle still names the in-flight request it was
+// taken from.
+func (h RequestHandle) Live() bool {
+	return h.req != nil && h.req.gen == h.gen && h.req.inflight
+}
+
+// Request returns the referenced request, or nil when the handle is stale.
+func (h RequestHandle) Request() *Request {
+	if !h.Live() {
+		return nil
+	}
+	return h.req
+}
+
+// RequestPool is a free-list allocator for Request records, one per
+// simulation instance. Like the engine it serves, a pool is intentionally
+// not safe for concurrent use: experiments parallelize across engines, and
+// each engine's components share one pool. Records are recycled on
+// completion, so steady-state issue/complete cycles allocate nothing.
+type RequestPool struct {
+	free      *Request
+	allocated int // records ever created
+	live      int // currently acquired
+}
+
+// NewRequestPool returns an empty pool; records are created on demand and
+// recycled thereafter.
+func NewRequestPool() *RequestPool { return &RequestPool{} }
+
+// Get acquires a record initialized for one transaction: Size 0 (LineSize),
+// Src -1, and cleared context slots. The caller owns the record until it
+// hands it to a backend via Access; the pool takes it back when the backend
+// completes it.
+func (p *RequestPool) Get(addr uint64, op Op, done DoneFunc) *Request {
+	r := p.free
+	if r == nil {
+		r = &Request{pool: p}
+		// Prebuild the schedule-shaped closures once per record; every
+		// recycle reuses them, which is what keeps CompleteAt and SendAt
+		// allocation-free in steady state.
+		r.fireFn()
+		r.deliverFn()
+		p.allocated++
+	} else {
+		p.free = r.next
+		r.next = nil
+	}
+	r.Addr, r.Op, r.Done = addr, op, done
+	r.Size, r.Issued, r.Src, r.Ctx = 0, 0, -1, 0
+	r.inflight = true
+	p.live++
+	return r
+}
+
+// Live reports the number of records currently acquired and not yet
+// released — the in-flight transaction count of the pool's simulation.
+func (p *RequestPool) Live() int { return p.live }
+
+// Allocated reports how many records the pool has ever created; a warm
+// steady state holds this constant while Live oscillates below it.
+func (p *RequestPool) Allocated() int { return p.allocated }
+
 // Backend is anything that can service memory requests: the detailed DRAM
 // system, a behavioural model from the zoo, the CXL expander model, or the
 // Mess analytical simulator.
 type Backend interface {
-	// Access submits a request at the current engine time. The backend
-	// must invoke req.Done exactly once, at a time ≥ now.
+	// Access submits a request at the current engine time, transferring
+	// ownership. The backend must complete the request exactly once
+	// (Complete / CompleteAt), at a time ≥ now; completion invokes Done
+	// and returns the record to its pool.
 	Access(req *Request)
 }
 
@@ -138,7 +362,9 @@ func (c Counters) String() string {
 
 // CountingBackend wraps a Backend and maintains Counters for every request
 // that passes through, so that traffic accounting works uniformly across
-// backends that do not track their own statistics.
+// backends that do not track their own statistics. As a wrapper it
+// observes and forwards: the inner backend keeps sole responsibility for
+// completing (and thereby releasing) each request.
 type CountingBackend struct {
 	Inner Backend
 	C     Counters

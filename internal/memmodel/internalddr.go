@@ -127,10 +127,7 @@ func (m *InternalDDR) serve(ch int) {
 	m.busFree[ch] = start + m.burst + m.access/16
 	m.lastIsW[ch] = isW
 
-	if done := req.Done; done != nil {
-		at := end
-		m.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(m.eng, end)
 	m.pending[ch] = true
 	m.eng.Schedule(maxT(now, start), m.serveFn[ch])
 }

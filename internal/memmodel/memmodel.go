@@ -91,10 +91,7 @@ func NewFixed(eng *sim.Engine, latency sim.Time) *Fixed {
 
 // Access implements mem.Backend.
 func (f *Fixed) Access(req *mem.Request) {
-	if done := req.Done; done != nil {
-		at := f.eng.Now() + f.Latency
-		f.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(f.eng, f.eng.Now()+f.Latency)
 }
 
 // MD1 is ZSim's M/D/1 queue model: one deterministic-service FIFO per
@@ -136,8 +133,5 @@ func (m *MD1) Access(req *mem.Request) {
 		start = now
 	}
 	m.free[ch] = start + m.svc
-	if done := req.Done; done != nil {
-		at := start + m.svc + m.base
-		m.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(m.eng, start+m.svc+m.base)
 }

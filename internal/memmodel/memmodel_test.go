@@ -23,7 +23,7 @@ func driveModel(eng *sim.Engine, b mem.Backend, depth int, dur sim.Time) (float6
 		addr := (line%64)*(1<<28+97*64) + (line/64)*mem.LineSize
 		line++
 		start := eng.Now()
-		b.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time) {
+		b.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) {
 			completed++
 			latSum += at - start
 			if eng.Now() < dur {
@@ -51,7 +51,7 @@ func TestNewAllKinds(t *testing.T) {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		var done bool
-		m.Access(&mem.Request{Addr: 64, Op: mem.Read, Done: func(sim.Time) { done = true }})
+		m.Access(&mem.Request{Addr: 64, Op: mem.Read, Done: func(_ sim.Time, _ *mem.Request) { done = true }})
 		eng.RunUntil(10 * sim.Microsecond)
 		if !done {
 			t.Fatalf("%s never completed a read", kind)
@@ -120,7 +120,7 @@ func TestInternalDDRUnderestimatesBandwidth(t *testing.T) {
 		issue = func() {
 			addr := next
 			next += mem.LineSize
-			m.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(sim.Time) {
+			m.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(_ sim.Time, _ *mem.Request) {
 				completed++
 				if eng.Now() < dur {
 					issue()
@@ -159,7 +159,7 @@ func TestInternalDDRPenalizesWrites(t *testing.T) {
 			}
 			addr := (line%64)*(1<<28+97*64) + line/64*mem.LineSize
 			line++
-			m.Access(&mem.Request{Addr: addr, Op: op, Done: func(sim.Time) {
+			m.Access(&mem.Request{Addr: addr, Op: op, Done: func(_ sim.Time, _ *mem.Request) {
 				completed++
 				if eng.Now() < dur {
 					issue()

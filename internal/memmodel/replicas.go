@@ -102,11 +102,7 @@ func (d *DRAMsim3Like) Access(req *mem.Request) {
 	start := maxT(now, d.free[ch])
 	d.free[ch] = start + d.svc
 
-	lat := d.latency()
-	if done := req.Done; done != nil {
-		at := start + sim.FromNanoseconds(lat)
-		d.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(d.eng, start+sim.FromNanoseconds(d.latency()))
 }
 
 func (d *DRAMsim3Like) latency() float64 {
@@ -171,10 +167,7 @@ func (r *RamulatorLike) Access(req *mem.Request) {
 	now := r.eng.Now()
 	r.track.observe(now, req.Op, req.Bytes())
 	r.recordRow()
-	if done := req.Done; done != nil {
-		at := now + r.lat
-		r.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(r.eng, now+r.lat)
 }
 
 func (r *RamulatorLike) recordRow() {
@@ -240,8 +233,5 @@ func (r *Ramulator2Like) Access(req *mem.Request) {
 	ch := int(req.Addr / mem.LineSize % uint64(r.chn))
 	start := maxT(now, r.free[ch])
 	r.free[ch] = start + r.svc
-	if done := req.Done; done != nil {
-		at := start + r.svc + r.base
-		r.eng.ScheduleTimed(at, done)
-	}
+	req.CompleteAt(r.eng, start+r.svc+r.base)
 }

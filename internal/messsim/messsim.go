@@ -197,10 +197,9 @@ func (s *Simulator) Access(req *mem.Request) {
 		slot = s.busFree
 		s.busFree += s.busSvc
 	}
-	if done := req.Done; done != nil {
-		// Allocation-free completion: the deadline rides in the event.
-		s.eng.ScheduleTimed(slot+s.memLat, done)
-	}
+	// Allocation-free completion: the deadline rides in the event and the
+	// pooled record returns to its pool when Done returns.
+	req.CompleteAt(s.eng, slot+s.memLat)
 
 	if s.winOps >= s.cfg.WindowOps {
 		s.adjust(now)

@@ -41,7 +41,7 @@ func drive(eng *sim.Engine, b mem.Backend, depth int, writeFrac float64, dur sim
 			op = mem.Write
 		}
 		start := eng.Now()
-		b.Access(&mem.Request{Addr: rng % (1 << 32), Op: op, Done: func(at sim.Time) {
+		b.Access(&mem.Request{Addr: rng % (1 << 32), Op: op, Done: func(at sim.Time, _ *mem.Request) {
 			completed++
 			latSum += at - start
 			if eng.Now() < dur {
@@ -158,7 +158,7 @@ func TestPhaseChangeAdaptation(t *testing.T) {
 	issue = func() {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		st := eng.Now()
-		s.Access(&mem.Request{Addr: rng % (1 << 32), Op: mem.Read, Done: func(at sim.Time) {
+		s.Access(&mem.Request{Addr: rng % (1 << 32), Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) {
 			completed++
 			latSum += at - st
 			if eng.Now() < deadline {
@@ -191,7 +191,7 @@ func TestCPULatencySubtraction(t *testing.T) {
 	s := New(eng, Config{Family: fam, CPULatencyNs: cpuNs, WindowOps: 100})
 	var lat sim.Time
 	st := eng.Now()
-	s.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at - st }})
+	s.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { lat = at - st }})
 	eng.Run()
 	wantFull := fam.LatencyAt(1.0, 0.1)
 	got := lat.Nanoseconds()
@@ -206,7 +206,7 @@ func TestMinLatencyFloor(t *testing.T) {
 	s := New(eng, Config{Family: fam, CPULatencyNs: 10000, WindowOps: 100})
 	var lat sim.Time
 	st := eng.Now()
-	s.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time) { lat = at - st }})
+	s.Access(&mem.Request{Addr: 0, Op: mem.Read, Done: func(at sim.Time, _ *mem.Request) { lat = at - st }})
 	eng.Run()
 	if lat.Nanoseconds() < 1.9 {
 		t.Fatalf("latency %v ns below the floor", lat.Nanoseconds())

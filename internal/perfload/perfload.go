@@ -6,6 +6,8 @@
 package perfload
 
 import (
+	"fmt"
+
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/sim"
 )
@@ -91,26 +93,69 @@ func TimerRearm(eng *sim.Engine, n int) {
 	eng.Run()
 }
 
-// ClosedLoop issues n read requests against a memory backend with 256
-// outstanding, each completion re-issuing — the saturation pattern of the
-// model throughput measurements. The address walk spreads across 48
-// streams with a row-buffer-hostile stride.
-func ClosedLoop(eng *sim.Engine, backend mem.Backend, n int) {
-	var line uint64
-	completed := 0
-	var issue func()
-	issue = func() {
-		addr := (line%48)*(1<<28+97*64) + (line/48)*64
-		line++
-		backend.Access(&mem.Request{Addr: addr, Op: mem.Read, Done: func(sim.Time) {
-			completed++
-			if completed < n {
-				issue()
-			}
-		}})
+// ClosedLoopDriver issues read requests against a memory backend with up
+// to 256 outstanding, each completion re-issuing — the saturation pattern
+// of the model throughput measurements. The address walk spreads across 48
+// streams with a row-buffer-hostile stride. Requests ride the driver's
+// pool with one stored completion callback, so the steady-state loop is
+// the 0 allocs/op pattern the BENCH_sim.json allocs_per_op column tracks.
+// The driver is reusable: repeated Run calls keep the pool, engine and
+// backend warm, which is how the steady-state allocation tests and the
+// messperf warmup measure the sustained path rather than cold-start
+// growth.
+type ClosedLoopDriver struct {
+	eng     *sim.Engine
+	backend mem.Backend
+	pool    *mem.RequestPool
+	done    mem.DoneFunc
+
+	line      uint64
+	completed int
+	target    int
+}
+
+// NewClosedLoop builds a driver over the backend.
+func NewClosedLoop(eng *sim.Engine, backend mem.Backend) *ClosedLoopDriver {
+	d := &ClosedLoopDriver{eng: eng, backend: backend, pool: mem.NewRequestPool()}
+	d.done = func(sim.Time, *mem.Request) {
+		d.completed++
+		if d.completed < d.target {
+			d.issue()
+		}
 	}
+	return d
+}
+
+func (d *ClosedLoopDriver) issue() {
+	addr := (d.line%48)*(1<<28+97*64) + (d.line/48)*64
+	d.line++
+	d.backend.Access(d.pool.Get(addr, mem.Read, d.done))
+}
+
+// Run drives n requests to completion and drains the engine. A backend
+// that loses a completion would drain the engine early with requests
+// unfinished; that is a lifecycle bug, not a measurement, so Run panics
+// rather than let throughput numbers silently inflate.
+func (d *ClosedLoopDriver) Run(n int) {
+	d.target = d.completed + n
 	for i := 0; i < 256 && i < n; i++ {
-		issue()
+		d.issue()
 	}
-	eng.Run()
+	d.eng.Run()
+	if d.completed < d.target {
+		panic(fmt.Sprintf("perfload: backend completed %d of %d requests (lost completion?)",
+			d.completed-(d.target-n), n))
+	}
+}
+
+// Completed reports total requests completed across all runs.
+func (d *ClosedLoopDriver) Completed() int { return d.completed }
+
+// Pool exposes the driver's request pool (tests assert Live() == 0 after a
+// drained run).
+func (d *ClosedLoopDriver) Pool() *mem.RequestPool { return d.pool }
+
+// ClosedLoop is the one-shot form: n requests on a fresh driver.
+func ClosedLoop(eng *sim.Engine, backend mem.Backend, n int) {
+	NewClosedLoop(eng, backend).Run(n)
 }

@@ -88,32 +88,35 @@ type ReplayResult struct {
 
 // Replay drives the backend with the trace's own timing (arrival gaps
 // encode the non-memory work, as DRAMsim3 trace formats do) and measures
-// the achieved bandwidth and mean read latency.
+// the achieved bandwidth and mean read latency. Requests come from a
+// replay-local pool, acquired at schedule time and delivered via their own
+// timed hand-off: one record per trace record (as before the pool, which
+// each record's issue closure allocated anyway) but zero per-record
+// closures — a single shared completion callback reads the issue time off
+// the request.
 func Replay(eng *sim.Engine, backend mem.Backend, t *Trace) ReplayResult {
 	if len(t.Records) == 0 {
 		return ReplayResult{}
 	}
 	base := t.Records[0].At
+	pool := mem.NewRequestPool()
 	var latSum sim.Time
 	var reads uint64
-	for _, r := range t.Records {
-		r := r
+	readDone := func(done sim.Time, req *mem.Request) {
+		latSum += done - req.Issued
+		reads++
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
 		op := mem.Read
+		var done mem.DoneFunc
 		if r.Write {
 			op = mem.Write
+		} else {
+			done = readDone
 		}
-		at := r.At - base
-		eng.Schedule(at, func() {
-			start := eng.Now()
-			req := &mem.Request{Addr: r.Addr, Op: op}
-			if op == mem.Read {
-				req.Done = func(done sim.Time) {
-					latSum += done - start
-					reads++
-				}
-			}
-			backend.Access(req)
-		})
+		req := pool.Get(r.Addr, op, done)
+		req.SendAt(eng, backend, r.At-base)
 	}
 	eng.Run()
 	res := ReplayResult{ReadRatio: t.ReadRatio(), Reads: reads}

@@ -19,10 +19,7 @@ type echoBackend struct {
 
 func (e *echoBackend) Access(req *mem.Request) {
 	e.c.Add(req.Op, req.Bytes())
-	if done := req.Done; done != nil {
-		at := e.eng.Now() + e.lat
-		e.eng.Schedule(at, func() { done(at) })
-	}
+	req.CompleteAt(e.eng, e.eng.Now()+e.lat)
 }
 
 func sampleTrace(n int) *Trace {

@@ -30,9 +30,17 @@
 // fresh closures. The kernel guarantees deterministic execution — events
 // fire in exact (deadline, schedule order), so identical runs produce
 // byte-identical curve CSVs — and Engine.Reset lets harnesses reuse one
-// warm engine across simulations. Speed is tracked: `go test -bench=Kernel`
-// benchmarks the kernel against the pre-wheel heap baseline, and
-// cmd/messperf records the trajectory in BENCH_sim.json.
+// warm engine across simulations.
+//
+// Memory transactions follow the same discipline: MemRequest records come
+// from a MemRequestPool free list, completion is a stored Done(at, req)
+// callback rather than a captured closure, and the backend releases each
+// record back to its pool when it completes — so the steady-state access
+// path of every memory model issues and completes at 0 allocs/op. Speed
+// and allocation behaviour are tracked: `go test -bench=Kernel` benchmarks
+// the kernel against the pre-wheel heap baseline, and cmd/messperf records
+// the trajectory (events/sec and allocs/op) in BENCH_sim.json, which CI
+// gates against the committed artifact.
 //
 // # The characterization service
 //
@@ -202,11 +210,25 @@ func MeasureUnloadedLatency(p Platform) (float64, error) {
 }
 
 // Memory-interface types, for embedding the Mess simulator (or any model)
-// under a custom CPU model.
+// under a custom CPU model. Requests follow a pooled lifecycle: acquire
+// from a MemRequestPool on hot paths (literal construction stays valid for
+// cold ones), hand ownership to the backend via Access, and the backend
+// completes exactly once — invoking Done(at, req) and returning the record
+// to its pool. See the internal/mem package docs for the full ownership
+// contract.
 type (
-	// MemRequest is one memory transaction; the backend invokes Done at
-	// completion.
+	// MemRequest is one memory transaction; the backend completes it
+	// exactly once, invoking Done.
 	MemRequest = mem.Request
+	// MemDoneFunc is the completion callback: per-request context rides
+	// in the request instead of a captured closure.
+	MemDoneFunc = mem.DoneFunc
+	// MemRequestPool is a free-list request allocator; steady-state
+	// issue/complete cycles allocate nothing.
+	MemRequestPool = mem.RequestPool
+	// MemRequestHandle is a generation-counted, stale-safe reference to a
+	// pooled in-flight request.
+	MemRequestHandle = mem.RequestHandle
 	// MemOp distinguishes reads from writes at the controller boundary.
 	MemOp = mem.Op
 	// MemBackend services memory requests.
@@ -222,6 +244,10 @@ const (
 	MemRead  = mem.Read
 	MemWrite = mem.Write
 )
+
+// NewMemRequestPool returns an empty request pool. Pools, like engines,
+// are single-goroutine: use one per simulation instance.
+func NewMemRequestPool() *MemRequestPool { return mem.NewRequestPool() }
 
 // NewCountingBackend wraps a backend with traffic counters.
 func NewCountingBackend(inner MemBackend) *CountingBackend { return mem.NewCounting(inner) }

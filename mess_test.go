@@ -120,7 +120,7 @@ func TestSimulatorFacade(t *testing.T) {
 		addr := (line%8)*(1<<28) + (line/8)*64
 		line++
 		start := eng.Now()
-		model.Access(&mess.MemRequest{Addr: addr, Op: mess.MemRead, Done: func(at mess.SimTime) {
+		model.Access(&mess.MemRequest{Addr: addr, Op: mess.MemRead, Done: func(at mess.SimTime, _ *mess.MemRequest) {
 			completed++
 			latSum += at - start
 			if eng.Now() < mess.Millisecond {
@@ -172,7 +172,7 @@ func TestMemoryModelZooFacade(t *testing.T) {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		done := false
-		m.Access(&mess.MemRequest{Addr: 64, Op: mess.MemRead, Done: func(mess.SimTime) { done = true }})
+		m.Access(&mess.MemRequest{Addr: 64, Op: mess.MemRead, Done: func(_ mess.SimTime, _ *mess.MemRequest) { done = true }})
 		eng.RunUntil(10 * mess.Microsecond)
 		if !done {
 			t.Fatalf("%s did not complete a read", kind)
