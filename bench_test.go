@@ -169,6 +169,25 @@ func BenchmarkDRAMReferenceThroughput(b *testing.B) {
 	// the shared perfload workload (pooled requests, stored callback), so
 	// -benchmem asserting ~0 allocs/op here is the zero-allocation
 	// request-lifecycle claim on the full cache-less access path.
+	benchDRAMPattern(b, perfload.PatternReference)
+}
+
+// BenchmarkDRAMRandomThroughput is the row-miss-dominated regime: a
+// mapper-defeating random walk where the FR-FCFS scan finds no hits and
+// activate/refresh bookkeeping dominates — the regime a hit-friendly
+// benchmark cannot regress-test.
+func BenchmarkDRAMRandomThroughput(b *testing.B) {
+	benchDRAMPattern(b, perfload.PatternRandom)
+}
+
+// BenchmarkDRAMMixedThroughput is the 2:1 read/write regime with
+// write-drain episodes and bus turnarounds.
+func BenchmarkDRAMMixedThroughput(b *testing.B) {
+	benchDRAMPattern(b, perfload.PatternMixed)
+}
+
+func benchDRAMPattern(b *testing.B, pattern perfload.LoopPattern) {
+	b.Helper()
 	spec := mess.Skylake()
 	eng := mess.NewEngine()
 	model, err := mess.NewMemoryModel(mess.ModelReference, eng, spec, nil)
@@ -177,7 +196,7 @@ func BenchmarkDRAMReferenceThroughput(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	perfload.ClosedLoop(eng, model, b.N)
+	perfload.NewClosedLoopPattern(eng, model, pattern).Run(b.N)
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreqs/s")
 }
 

@@ -18,13 +18,16 @@
 //     caches).
 //
 // With -gate, messperf additionally compares the fresh results against a
-// previously committed artifact and exits nonzero when any kernel
-// benchmark's events/sec dropped by more than -gate-drop (default 30%, a
-// deliberately loose bound because the committed baseline and the runner
-// are different machines — it catches order-of-magnitude breakage, not
-// drift) or when any result's allocs_per_op rose above its baseline (a
-// machine-independent check: 0 → ≥1 allocs/op fails anywhere) — the CI
-// trajectory gate.
+// baseline artifact and exits nonzero when any kernel benchmark's
+// events/sec dropped by more than -gate-drop, or when any result's
+// allocs_per_op rose above its baseline (a machine-independent check:
+// 0 → ≥1 allocs/op fails anywhere). -gate-prev layers a second, tighter
+// gate over the same measurement: CI always enforces the committed
+// BENCH_sim.json at the loose 30% (an absolute cross-machine floor that a
+// chain of small regressions cannot ratchet away) and, when the previous
+// successful run of the branch left an artifact, additionally enforces it
+// at 10% — successive runs share a runner class, so that bound tracks
+// real drift.
 //
 // Usage:
 //
@@ -99,10 +102,10 @@ func measure(name string, ops int, run func()) Result {
 // first brings the engine's event pool, the model's queues and the wheel
 // buckets to steady state, so the measured window reflects the sustained
 // access path rather than cold-start growth.
-func modelThroughput(name string, n int, mk func(eng *mess.Engine) mess.MemBackend) Result {
+func modelThroughput(name string, n int, pattern perfload.LoopPattern, mk func(eng *mess.Engine) mess.MemBackend) Result {
 	eng := mess.NewEngine()
 	model := mk(eng)
-	drv := perfload.NewClosedLoop(eng, model)
+	drv := perfload.NewClosedLoopPattern(eng, model, pattern)
 	warm := n / 4
 	if warm > 50_000 {
 		warm = 50_000
@@ -175,6 +178,8 @@ func main() {
 		skipFig2     = flag.Bool("skip-fig2", false, "skip the Quick-scale fig2 characterization")
 		gateAgainst  = flag.String("gate", "", "baseline BENCH_sim.json to gate kernel events/sec against")
 		gateDrop     = flag.Float64("gate-drop", 0.30, "maximum tolerated fractional events/sec drop per kernel benchmark")
+		gatePrev     = flag.String("gate-prev", "", "additional baseline (the previous CI run's artifact) gated at -gate-prev-drop")
+		gatePrevDrop = flag.Float64("gate-prev-drop", 0.10, "maximum tolerated fractional events/sec drop vs -gate-prev")
 	)
 	flag.Parse()
 
@@ -214,13 +219,21 @@ func main() {
 	kernel("schedule_cancel", perfload.Cancel)
 	kernel("timer_rearm", perfload.TimerRearm)
 
-	add(modelThroughput("model/dram_reference", *modelEvents, func(eng *mess.Engine) mess.MemBackend {
+	// The detailed DRAM model is measured under three traffic regimes: the
+	// historical reference pattern (hit-friendly streams), a mapper-
+	// defeating random walk (row-miss-dominated) and a 2:1 read/write mix
+	// (write-queue drains) — the scheduler regressions each can hide from
+	// the others.
+	mkReference := func(eng *mess.Engine) mess.MemBackend {
 		m, err := mess.NewMemoryModel(mess.ModelReference, eng, mess.Skylake(), nil)
 		if err != nil {
 			cli.Fatal(err)
 		}
 		return m
-	}))
+	}
+	add(modelThroughput("model/dram_reference", *modelEvents, perfload.PatternReference, mkReference))
+	add(modelThroughput("model/dram_random", *modelEvents, perfload.PatternRandom, mkReference))
+	add(modelThroughput("model/dram_mixed", *modelEvents, perfload.PatternMixed, mkReference))
 
 	// The Mess analytical simulator needs a curve family; its production is
 	// itself the framework-level measurement (a Quick characterization on a
@@ -237,7 +250,7 @@ func main() {
 		}
 		fam = art.Family
 	}))
-	add(modelThroughput("model/mess_simulator", *modelEvents, func(eng *mess.Engine) mess.MemBackend {
+	add(modelThroughput("model/mess_simulator", *modelEvents, perfload.PatternReference, func(eng *mess.Engine) mess.MemBackend {
 		return mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
 	}))
 
@@ -260,10 +273,17 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 
-	if *gateAgainst != "" {
-		if err := gate(rep, *gateAgainst, *gateDrop); err != nil {
+	// Both gates see the same fresh results — one measurement, two bounds.
+	for _, g := range []struct {
+		path string
+		drop float64
+	}{{*gateAgainst, *gateDrop}, {*gatePrev, *gatePrevDrop}} {
+		if g.path == "" {
+			continue
+		}
+		if err := gate(rep, g.path, g.drop); err != nil {
 			cli.Fatal(err)
 		}
-		fmt.Printf("gate passed: no kernel benchmark dropped more than %.0f%% vs %s\n", 100**gateDrop, *gateAgainst)
+		fmt.Printf("gate passed: no kernel benchmark dropped more than %.0f%% vs %s\n", 100*g.drop, g.path)
 	}
 }

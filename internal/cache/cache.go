@@ -195,15 +195,21 @@ func (p *Port) FreeWB() bool { return p.wbInflight < p.h.cfg.WriteBufs }
 // Outstanding reports current demand misses in flight.
 func (p *Port) Outstanding() int { return p.inflight }
 
-// Load issues one load. done fires at data arrival at the core (load-to-use).
+// Load issues one load. For a miss, done fires at data arrival at the core
+// (load-to-use) and Load reports onChip false. An LLC hit completes on
+// chip: the port neither schedules nor invokes done — it reports
+// (now+LLCHitLatency, true) and the core folds the completion into its own
+// control flow (consume the timestamp inline, or schedule its stored
+// callback at ackAt when it reads engine time). This keeps hits out of the
+// port's scheduling entirely — the round-trip event the old port-side
+// delivery cost per hit exists only if the core needs one.
 // The caller must have checked FreeMSHR; Load panics otherwise, because a
 // silent drop would corrupt bandwidth accounting.
-func (p *Port) Load(addr uint64, done func(at sim.Time)) {
+func (p *Port) Load(addr uint64, done func(at sim.Time)) (ackAt sim.Time, onChip bool) {
 	p.Loads++
 	if p.h.llcHit() {
 		p.LLCHits++
-		p.completeOnChip(done)
-		return
+		return p.h.eng.Now() + p.h.cfg.LLCHitLatency, true
 	}
 	if !p.FreeMSHR() {
 		panic("cache: Load issued with no free MSHR")
@@ -213,6 +219,7 @@ func (p *Port) Load(addr uint64, done func(at sim.Time)) {
 	if p.h.cfg.EvictCleanAsDirty {
 		p.buggedWriteback(addr)
 	}
+	return 0, false
 }
 
 // loadDone is the backend completion of a demand load: free the MSHR, then
@@ -224,14 +231,14 @@ func (p *Port) loadDone(at sim.Time, req *mem.Request) {
 }
 
 // Store issues one store under the configured write policy. done fires when
-// the store owns the line (write-allocate) or when the write is accepted
-// (write-through); in both cases the core may proceed immediately after.
-func (p *Port) Store(addr uint64, done func(at sim.Time)) {
+// the store owns the line (write-allocate miss); an LLC hit or a
+// write-through acceptance completes on chip, reported as
+// (now+LLCHitLatency, true) with done untouched, exactly as for Load.
+func (p *Port) Store(addr uint64, done func(at sim.Time)) (ackAt sim.Time, onChip bool) {
 	p.Stores++
 	if p.h.llcHit() {
 		p.LLCHits++
-		p.completeOnChip(done)
-		return
+		return p.h.eng.Now() + p.h.cfg.LLCHitLatency, true
 	}
 	if p.h.cfg.Policy == WriteThrough {
 		if !p.FreeWB() {
@@ -239,8 +246,7 @@ func (p *Port) Store(addr uint64, done func(at sim.Time)) {
 		}
 		p.wbInflight++
 		p.request(addr, mem.Write, p.wbDoneFn, nil)
-		p.completeOnChip(done)
-		return
+		return p.h.eng.Now() + p.h.cfg.LLCHitLatency, true
 	}
 	// Write-allocate: RFO read now, dirty writeback at fill time.
 	if !p.FreeMSHR() || !p.FreeWB() {
@@ -249,6 +255,7 @@ func (p *Port) Store(addr uint64, done func(at sim.Time)) {
 	p.inflight++
 	p.wbInflight++
 	p.request(addr, mem.Read, p.storeDoneFn, done)
+	return 0, false
 }
 
 // storeDone is the backend completion of a write-allocate RFO fill: emit
@@ -265,15 +272,17 @@ func (p *Port) storeDone(at sim.Time, req *mem.Request) {
 // write-buffer slot reserved at issue.
 func (p *Port) wbDone(sim.Time, *mem.Request) { p.releaseWB() }
 
-// StoreNT issues a non-temporal (streaming) store: one memory write, no RFO.
-func (p *Port) StoreNT(addr uint64, done func(at sim.Time)) {
+// StoreNT issues a non-temporal (streaming) store: one memory write, no
+// RFO. The core-side acceptance is always on chip — reported like a hit,
+// never scheduled or invoked by the port.
+func (p *Port) StoreNT(addr uint64, done func(at sim.Time)) (ackAt sim.Time, onChip bool) {
 	p.NTStores++
 	if !p.FreeWB() {
 		panic("cache: StoreNT issued with no free write buffer")
 	}
 	p.wbInflight++
 	p.request(addr, mem.Write, p.wbDoneFn, nil)
-	p.completeOnChip(done)
+	return p.h.eng.Now() + p.h.cfg.LLCHitLatency, true
 }
 
 // writebackFor issues the posted writeback paired with a write-allocate
@@ -331,14 +340,5 @@ func (p *Port) finish(memDone sim.Time, done func(at sim.Time)) {
 		done(at)
 		return
 	}
-	p.h.eng.ScheduleTimed(at, done)
-}
-
-// completeOnChip fires done after the on-chip hit latency.
-func (p *Port) completeOnChip(done func(at sim.Time)) {
-	if done == nil {
-		return
-	}
-	at := p.h.eng.Now() + p.h.cfg.LLCHitLatency
 	p.h.eng.ScheduleTimed(at, done)
 }

@@ -160,17 +160,32 @@ func TestLLCHitsShortCircuit(t *testing.T) {
 	cfg := Config{LLCHitRate: 1.0, LLCHitLatency: 10 * sim.Nanosecond}
 	eng, b, h := setup(cfg)
 	p := h.Port(0)
-	var lat sim.Time
-	p.Load(0, func(at sim.Time) { lat = at })
+	// A hit is reported synchronously — no event, no callback — and the
+	// port must not have invoked the miss callback.
+	called := false
+	at, onChip := p.Load(0, func(sim.Time) { called = true })
+	if !onChip {
+		t.Fatal("guaranteed LLC hit reported as a miss")
+	}
+	if pending := eng.Pending(); pending != 0 {
+		t.Fatalf("hit scheduled %d events, want 0", pending)
+	}
 	eng.Run()
+	if called {
+		t.Fatal("hit invoked the miss callback")
+	}
 	if len(b.reqs) != 0 {
 		t.Fatal("LLC hit leaked to memory")
 	}
-	if lat != 10*sim.Nanosecond {
-		t.Fatalf("hit latency %v, want 10 ns", lat.Nanoseconds())
+	if at != 10*sim.Nanosecond {
+		t.Fatalf("hit latency %v, want 10 ns", at.Nanoseconds())
 	}
 	if p.LLCHits != 1 {
 		t.Fatalf("hit counter %d, want 1", p.LLCHits)
+	}
+	// Stores and NT stores ack on chip the same way.
+	if at, onChip := p.Store(64, nil); !onChip || at != eng.Now()+10*sim.Nanosecond {
+		t.Fatalf("store hit = (%v, %v), want on-chip at +10 ns", at, onChip)
 	}
 }
 

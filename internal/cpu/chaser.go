@@ -91,7 +91,12 @@ func (c *Chaser) hop() {
 	c.cur = (c.mult*c.cur + c.inc) % c.lines
 	addr := c.base + c.cur*mem.LineSize
 	c.issued = c.eng.Now()
-	c.port.Load(addr, c.doneFn)
+	if at, onChip := c.port.Load(addr, c.doneFn); onChip {
+		// On-chip hit: the chase depends only on the completion timestamp,
+		// so the hop is consumed inline — hopDone schedules the next hop
+		// directly at at+overhead, with no delivery event in between.
+		c.hopDone(at)
+	}
 }
 
 // hopDone records the load-to-use latency and schedules the next hop.

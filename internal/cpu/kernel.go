@@ -282,21 +282,30 @@ func (c *KernelCore) canIssue(op pendingOp) bool {
 	}
 }
 
+// issue hands one operation to the port. On-chip completions come back as
+// a timestamp instead of a port-scheduled event; the core re-arms its own
+// stored callback for them (its pacing and IPC accounting read engine
+// time, so the delivery instant must be preserved — the event count and
+// order are identical to the port-side scheduling this replaces).
 func (c *KernelCore) issue(op pendingOp) {
 	addr := c.addrFor(op.arr)
-	if op.isStore {
-		if c.kernel.NonTemporal {
-			c.port.StoreNT(addr, c.resumeFn)
-		} else {
-			c.port.Store(addr, c.resumeFn)
-		}
-		return
+	done := c.resumeFn
+	var at sim.Time
+	var onChip bool
+	switch {
+	case op.isStore && c.kernel.NonTemporal:
+		at, onChip = c.port.StoreNT(addr, done)
+	case op.isStore:
+		at, onChip = c.port.Store(addr, done)
+	case c.kernel.Dependent:
+		done = c.depDoneFn
+		at, onChip = c.port.Load(addr, done)
+	default:
+		at, onChip = c.port.Load(addr, done)
 	}
-	if c.kernel.Dependent {
-		c.port.Load(addr, c.depDoneFn)
-		return
+	if onChip {
+		c.eng.ScheduleTimed(at, done)
 	}
-	c.port.Load(addr, c.resumeFn)
 }
 
 // dependentLoadDone resumes a serialized kernel once its load returns.

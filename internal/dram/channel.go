@@ -1,6 +1,8 @@
 package dram
 
 import (
+	"math/bits"
+
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/sim"
 )
@@ -56,18 +58,136 @@ type bank struct {
 	preReadyAt sim.Time // earliest precharge
 	actReadyAt sim.Time // earliest next ACT (set when a precharge is committed)
 	lastTouch  sim.Time // end of the last data burst (drives idle auto-close)
+	// availUntil is the last instant the open row is still usable: the
+	// earlier of the idle-close deadline and the instant before the first
+	// refresh window start after lastTouch. Both are functions of
+	// lastTouch alone, so they are computed once when the bank is touched
+	// instead of on every scheduler query — the row-availability test the
+	// decide scan runs per candidate bank collapses to one comparison.
+	availUntil sim.Time
 }
 
+// Queue directions. Reads and writes wait in separate queues (the drain
+// watermarks pick between them), so every per-bank structure exists once
+// per direction.
+const (
+	dirRead = iota
+	dirWrite
+	dirCount
+)
+
+// chanReq is one queued transaction, resident in the channel's slot store.
+// Slots are reused through a free list; a slot stays allocated from enqueue
+// until its FIFO position drains out of the ring (an issued mid-queue entry
+// becomes a tombstone — queued=false — until the ring head passes it), so a
+// ring entry always names a valid slot.
 type chanReq struct {
-	req *mem.Request
-	loc Loc
-	at  sim.Time // arrival at the controller
+	req    *mem.Request
+	at     sim.Time // arrival at the controller
+	seq    uint64   // arrival order; the FR-FCFS age tiebreak
+	row    int64
+	bi     int32 // bank index: rank*Banks+bank
+	rank   int32
+	prev   int32 // per-bank FIFO links (-1 = none)
+	next   int32 // doubles as the free-list link
+	queued bool
+}
+
+// reqRing is a growable power-of-two ring buffer of slot indices in arrival
+// order. Push never memmoves; mid-queue removal is a tombstone skipped (and
+// reclaimed) when the head reaches it, so the per-issue queue cost is O(1)
+// amortized instead of the O(n) delete of a slice queue.
+type reqRing struct {
+	buf  []int32
+	head int
+	n    int // entries, tombstones included
+}
+
+func (r *reqRing) push(idx int32) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = idx
+	r.n++
+}
+
+func (r *reqRing) grow() {
+	nc := 2 * len(r.buf)
+	if nc == 0 {
+		nc = 64
+	}
+	nb := make([]int32, nc)
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&mask]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *reqRing) at(pos int) int32 { return r.buf[(r.head+pos)&(len(r.buf)-1)] }
+
+func (r *reqRing) pop() int32 {
+	idx := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return idx
+}
+
+// compactRing rewrites the ring without its tombstones, freeing their
+// slots and renumbering the survivors' arrival sequence densely (relative
+// order, which is all FR-FCFS age comparisons use, is preserved). Dead
+// entries inflate the arrival distance the window check reasons with,
+// pushing it onto its walk fallback; after compaction distance equals
+// position again. Triggered when tombstones dominate; amortized O(1) per
+// issued request.
+func (c *channel) compactRing(dir int) {
+	r := &c.queues[dir]
+	mask := len(r.buf) - 1
+	out := 0
+	seq := uint64(0)
+	for i := 0; i < r.n; i++ {
+		idx := r.buf[(r.head+i)&mask]
+		s := &c.slots[idx]
+		if !s.queued {
+			c.freeSlot(idx)
+			continue
+		}
+		s.seq = seq
+		seq++
+		r.buf[(r.head+out)&mask] = idx
+		out++
+	}
+	r.n = out
+	c.arrival[dir] = seq
+	for b := range c.bq[dir] {
+		if bl := &c.bq[dir][b]; bl.match >= 0 {
+			bl.matchSeq = c.slots[bl.match].seq
+		}
+	}
+}
+
+// bankList is the FIFO of pending requests of one (bank, direction),
+// threaded through the slot store, plus the incremental row-match state:
+// match is the oldest pending request whose row equals the bank's open row
+// (-1 when none), mirrored as one bit per bank in the channel's match
+// bitmap. The bitmap is maintained on enqueue and issue: activates rescan
+// the bank, hits advance to the next match. Rows closed by refresh or the
+// idle timer are handled by the separate availability mask — a match bit
+// may persist on a closed bank; the pick scan intersects the two words.
+type bankList struct {
+	head, tail int32
+	match      int32
+	matchSeq   uint64 // slots[match].seq, mirrored so the pick scan stays on this contiguous array
+	openRow    int64  // banks[bi].openRow, mirrored so enqueue/detach stay on this contiguous array
 }
 
 // channel is one memory channel: its banks, its request queues and its
 // scheduler state. Channels are driven by decide events: at most one pending
 // decide event exists per channel, scheduled shortly before the data bus
-// frees so the scheduler can still reorder late-arriving row hits.
+// frees so the scheduler can still reorder late-arriving row hits. When the
+// channel's own next decide would also be the engine's next event, the
+// decide loop runs it inline (decide-event fusion) instead of round-tripping
+// through the scheduler — identical ordering by construction.
 type channel struct {
 	eng *sim.Engine
 	cfg *Config
@@ -77,14 +197,33 @@ type channel struct {
 	actHist   [][]sim.Time // per rank: last 4 ACT times (tFAW window)
 	lastAct   []sim.Time   // per rank: last ACT (tRRD)
 	refOffset []sim.Time   // per rank: first refresh window start
+	refNext   []sim.Time   // per rank: refWindowStart cursor
 
 	busFreeAt   sim.Time
 	lastIsW     bool
 	haveDir     bool
-	lastCASBank int // rank*banks+bank of the last CAS, -1 initially
+	lastCASBank int32 // rank*banks+bank of the last CAS, -1 initially
 
-	readQ      []chanReq
-	writeQ     []chanReq
+	slots    []chanReq
+	freeHead int32
+	arrival  [dirCount]uint64 // next chanReq.seq, per queue
+
+	queues [dirCount]reqRing
+	live   [dirCount]int // live (non-tombstone) entries per queue
+
+	bq        [dirCount][]bankList
+	matchBits [dirCount][]uint64
+
+	// availMask mirrors rowAvail over banks: bit set ⇒ the bank's open row
+	// is usable at any t ≤ availSweepAt. Bits are set when a bank is
+	// touched; expiry (idle-close, refresh) is swept lazily the first time
+	// a decide runs past the watermark, so the pick scan intersects two
+	// words instead of probing per-bank state per candidate.
+	availMask    []uint64
+	availSweepAt sim.Time
+
+	lookahead sim.Time // RP+RCD+CL, the decide lead time before the bus frees
+
 	draining   bool
 	drainCount int // writes served in the current drain episode
 
@@ -103,21 +242,34 @@ type channel struct {
 }
 
 func newChannel(eng *sim.Engine, cfg *Config, chIdx int) *channel {
+	nbanks := cfg.Ranks * cfg.Banks
 	c := &channel{
 		eng:       eng,
 		cfg:       cfg,
 		t:         &cfg.Timing,
-		banks:     make([]bank, cfg.Ranks*cfg.Banks),
+		banks:     make([]bank, nbanks),
 		actHist:   make([][]sim.Time, cfg.Ranks),
 		lastAct:   make([]sim.Time, cfg.Ranks),
 		refOffset: make([]sim.Time, cfg.Ranks),
+		refNext:   make([]sim.Time, cfg.Ranks),
+		freeHead:  -1,
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 	}
+	words := (nbanks + 63) / 64
+	c.availMask = make([]uint64, words)
+	c.lookahead = cfg.Timing.RP + cfg.Timing.RCD + cfg.Timing.CL
+	for dir := 0; dir < dirCount; dir++ {
+		c.bq[dir] = make([]bankList, nbanks)
+		for b := range c.bq[dir] {
+			c.bq[dir][b] = bankList{head: -1, tail: -1, match: -1, openRow: -1}
+		}
+		c.matchBits[dir] = make([]uint64, words)
+	}
 	c.decideFn = func() {
 		c.decidePending = false
-		c.decide()
+		c.decideLoop()
 	}
 	c.lastCASBank = -1
 	for r := 0; r < cfg.Ranks; r++ {
@@ -128,6 +280,7 @@ func newChannel(eng *sim.Engine, cfg *Config, chIdx int) *channel {
 		// Stagger refresh across ranks and channels so refresh storms do
 		// not synchronize system-wide.
 		c.refOffset[r] = cfg.Timing.REFI * sim.Time(chIdx*cfg.Ranks+r+1) / sim.Time(cfg.Channels*cfg.Ranks+1)
+		c.refNext[r] = c.refOffset[r]
 	}
 	return c
 }
@@ -138,7 +291,7 @@ func newChannel(eng *sim.Engine, cfg *Config, chIdx int) *channel {
 // would land inside a window slide to its end.
 
 // refreshAdjust pushes t out of any refresh window of the rank.
-func (c *channel) refreshAdjust(rank int, t sim.Time) sim.Time {
+func (c *channel) refreshAdjust(rank int32, t sim.Time) sim.Time {
 	if c.t.REFI <= 0 {
 		return t
 	}
@@ -146,53 +299,179 @@ func (c *channel) refreshAdjust(rank int, t sim.Time) sim.Time {
 	if t < off {
 		return t
 	}
-	k := (t - off) / c.t.REFI
-	start := off + k*c.t.REFI
+	start := c.refWindowStart(rank, t)
 	if t < start+c.t.RFC {
 		return start + c.t.RFC
 	}
 	return t
 }
 
-// lastRefreshStart reports the start of the most recent refresh window at
-// or before t, or a negative time when none has occurred yet.
-func (c *channel) lastRefreshStart(rank int, t sim.Time) sim.Time {
-	if c.t.REFI <= 0 {
-		return -1
+// refWindowStart reports the latest refresh window start ≤ t for the rank
+// (callers guarantee REFI > 0 and t ≥ refOffset). A per-rank cursor caches
+// the last window found: command times trail the bus time closely, so the
+// cursor moves at most a step or two per query, replacing the division of
+// the closed form; a long idle gap falls back to the division.
+func (c *channel) refWindowStart(rank int32, t sim.Time) sim.Time {
+	refi := c.t.REFI
+	start := c.refNext[rank]
+	if d := t - start; d < -4*refi || d > 4*refi {
+		off := c.refOffset[rank]
+		start = off + (t-off)/refi*refi
+		c.refNext[rank] = start
+		return start
 	}
-	off := c.refOffset[rank]
-	if t < off {
-		return -1
+	for start > t {
+		start -= refi
 	}
-	k := (t - off) / c.t.REFI
-	return off + k*c.t.REFI
+	for t-start >= refi {
+		start += refi
+	}
+	c.refNext[rank] = start
+	return start
 }
 
-func (c *channel) enqueue(req *mem.Request, loc Loc) {
-	cr := chanReq{req: req, loc: loc, at: c.eng.Now()}
+// Slot store.
+
+func (c *channel) allocSlot() int32 {
+	if c.freeHead >= 0 {
+		idx := c.freeHead
+		c.freeHead = c.slots[idx].next
+		return idx
+	}
+	c.slots = append(c.slots, chanReq{})
+	return int32(len(c.slots) - 1)
+}
+
+func (c *channel) freeSlot(idx int32) {
+	s := &c.slots[idx]
+	s.req = nil
+	s.next = c.freeHead
+	c.freeHead = idx
+}
+
+func (c *channel) enqueue(req *mem.Request, bi, rank int32, row int64) {
+	idx := c.allocSlot()
+	s := &c.slots[idx]
+	s.req = req
+	s.at = c.eng.Now()
+	s.row = row
+	s.rank = rank
+	s.bi = bi
+	s.queued = true
+	dir := dirRead
 	if req.Op == mem.Write {
 		// Writes are posted: the core never waits on them. Done still
 		// fires when the write drains to the device, so that write-buffer
 		// slots upstream provide back-pressure against unbounded queues.
-		c.writeQ = append(c.writeQ, cr)
-	} else {
-		c.readQ = append(c.readQ, cr)
+		dir = dirWrite
 	}
+	s.seq = c.arrival[dir]
+	c.arrival[dir]++
+	c.queues[dir].push(idx)
+	c.live[dir]++
+	c.bankAppend(dir, idx)
 	c.kick()
+}
+
+// bankAppend links the slot at the tail of its bank FIFO and claims the
+// match slot when the bank has none and the row matches the open row.
+func (c *channel) bankAppend(dir int, idx int32) {
+	s := &c.slots[idx]
+	bl := &c.bq[dir][s.bi]
+	s.prev, s.next = bl.tail, -1
+	if bl.tail >= 0 {
+		c.slots[bl.tail].next = idx
+	} else {
+		bl.head = idx
+	}
+	bl.tail = idx
+	if bl.match < 0 && bl.openRow == s.row {
+		c.setMatch(dir, s.bi, idx, s.seq)
+	}
+}
+
+// bankDetach unlinks the slot from its bank FIFO. When the slot was the
+// match, the match advances to the next pending request of the (still
+// current) open row — correct for row hits; activates rescan afterwards.
+func (c *channel) bankDetach(dir int, idx int32) {
+	s := &c.slots[idx]
+	bl := &c.bq[dir][s.bi]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		bl.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		bl.tail = s.prev
+	}
+	if bl.match == idx {
+		row := bl.openRow
+		m := int32(-1)
+		var mseq uint64
+		for j := s.next; j >= 0; j = c.slots[j].next {
+			if c.slots[j].row == row {
+				m, mseq = j, c.slots[j].seq
+				break
+			}
+		}
+		c.setMatch(dir, s.bi, m, mseq)
+	}
+}
+
+// rescanBank recomputes both directions' match state against the bank's
+// (new) open row — called after an activate changes it.
+func (c *channel) rescanBank(bi int32) {
+	row := c.banks[bi].openRow
+	for dir := 0; dir < dirCount; dir++ {
+		c.bq[dir][bi].openRow = row
+		m := int32(-1)
+		var mseq uint64
+		for j := c.bq[dir][bi].head; j >= 0; j = c.slots[j].next {
+			if c.slots[j].row == row {
+				m, mseq = j, c.slots[j].seq
+				break
+			}
+		}
+		c.setMatch(dir, bi, m, mseq)
+	}
+}
+
+func (c *channel) setMatch(dir int, bi, idx int32, seq uint64) {
+	bl := &c.bq[dir][bi]
+	bl.match, bl.matchSeq = idx, seq
+	bit := uint64(1) << (uint(bi) & 63)
+	if idx >= 0 {
+		c.matchBits[dir][bi>>6] |= bit
+	} else {
+		c.matchBits[dir][bi>>6] &^= bit
+	}
+}
+
+// ringHead reports the oldest live entry of the queue, reclaiming any
+// tombstones that have drained to the front. Every issued entry is passed
+// exactly once, so the skip cost is O(1) amortized per request.
+func (c *channel) ringHead(dir int) int32 {
+	r := &c.queues[dir]
+	for r.n > 0 {
+		idx := r.at(0)
+		if c.slots[idx].queued {
+			return idx
+		}
+		r.pop()
+		c.freeSlot(idx)
+	}
+	return -1
 }
 
 // kick (re)schedules the decide event. The event is placed a lookahead
 // before the bus frees, so the scheduler commits each burst just in time.
 func (c *channel) kick() {
-	if len(c.readQ) == 0 && len(c.writeQ) == 0 {
+	if c.live[dirRead]+c.live[dirWrite] == 0 {
 		return
 	}
-	lookahead := c.t.RP + c.t.RCD + c.t.CL
-	at := c.busFreeAt - lookahead
-	now := c.eng.Now()
-	if at < now {
-		at = now
-	}
+	at := c.decideTime()
 	if c.decidePending && c.decideAt <= at {
 		return
 	}
@@ -201,35 +480,97 @@ func (c *channel) kick() {
 	c.eng.Schedule(at, c.decideFn)
 }
 
-// decide picks the next request (FR-FCFS within the active direction) and
-// commits its data burst on the bus.
-func (c *channel) decide() {
-	writes := c.pickDirection()
-	var q *[]chanReq
-	if writes {
-		q = &c.writeQ
-	} else {
-		q = &c.readQ
+func (c *channel) decideTime() sim.Time {
+	at := c.busFreeAt - c.lookahead
+	if now := c.eng.Now(); at < now {
+		at = now
 	}
-	if len(*q) == 0 {
-		c.kick()
-		return
-	}
-	idx := c.pickFRFCFS(*q, !writes)
-	cr := (*q)[idx]
-	*q = append((*q)[:idx], (*q)[idx+1:]...)
-	if !writes && idx == 0 {
-		// The tracked head is leaving the queue: drop the reference now.
-		// Holding it past issue would alias a recycled pool record — a new
-		// request reusing this record could inherit the dead head's bypass
-		// count. (Pre-pool, distinct allocations made the q[0] pointer
-		// comparison in pickFRFCFS reset implicitly.)
-		c.readHead = nil
-		c.readHeadBypass = 0
-	}
+	return at
+}
 
-	c.issue(cr, writes)
-	c.kick()
+// decideLoop runs decides until the queues drain or the next decide must
+// yield to another event. Without fusion every iteration round-trips
+// through the scheduler: schedule the decide, fire it, then schedule and
+// fire the burst it commits — kernel work that dwarfs the decision itself
+// under drains and mid-load plateaus. When the engine's next deadline lies
+// beyond the channel's next decide time, that decide would be the next
+// event fired anyway, so the loop advances the clock (RunUntil fires
+// nothing) and decides inline: the command sequence, timing and statistics
+// are identical by construction, with the scheduler hops removed.
+func (c *channel) decideLoop() {
+	for {
+		if !c.decideOnce() {
+			return
+		}
+		if c.live[dirRead]+c.live[dirWrite] == 0 {
+			return
+		}
+		at := c.decideTime()
+		if c.cfg.NoFusion {
+			c.scheduleDecide(at)
+			return
+		}
+		if bound, ok := c.eng.RunBound(); ok && at > bound {
+			// The decide falls beyond the driving RunUntil's target: it
+			// must stay queued, exactly as its event would, so counters
+			// sampled at the boundary see identical state.
+			c.scheduleDecide(at)
+			return
+		}
+		if nd, ok := c.eng.NextDeadline(); ok && nd <= at {
+			// Another event (a completion, another channel, an equal-time
+			// earlier-scheduled decide) precedes ours: fusion would reorder.
+			c.scheduleDecide(at)
+			return
+		}
+		c.eng.RunUntil(at) // nothing fires: every pending deadline is later
+	}
+}
+
+func (c *channel) scheduleDecide(at sim.Time) {
+	c.decidePending = true
+	c.decideAt = at
+	c.eng.Schedule(at, c.decideFn)
+}
+
+// decideOnce picks the next request (FR-FCFS within the active direction)
+// and commits its data burst on the bus. It reports whether a burst was
+// committed.
+func (c *channel) decideOnce() bool {
+	writes := c.pickDirection()
+	dir := dirRead
+	if writes {
+		dir = dirWrite
+	}
+	if c.live[dir] == 0 {
+		c.kick()
+		return false
+	}
+	head := c.ringHead(dir)
+	idx := c.pick(dir, head)
+	s := &c.slots[idx]
+	s.queued = false
+	c.live[dir]--
+	c.bankDetach(dir, idx)
+	popped := idx == head
+	if popped {
+		c.queues[dir].pop()
+		if dir == dirRead {
+			// The tracked head is leaving the queue: drop the reference now.
+			// Holding it past issue would alias a recycled pool record — a
+			// new request reusing this record could inherit the dead head's
+			// bypass count.
+			c.readHead = nil
+			c.readHeadBypass = 0
+		}
+	}
+	c.issue(idx, writes)
+	if popped {
+		c.freeSlot(idx) // a mid-queue pick instead becomes a ring tombstone
+	} else if r := &c.queues[dir]; r.n-c.live[dir] > 64 && r.n > 2*c.live[dir] {
+		c.compactRing(dir)
+	}
+	return true
 }
 
 // pickDirection applies write-drain watermarks: reads have priority; a
@@ -242,9 +583,9 @@ func (c *channel) decide() {
 func (c *channel) pickDirection() bool {
 	if c.draining {
 		switch {
-		case len(c.writeQ) <= c.cfg.WriteLo || len(c.writeQ) == 0:
+		case c.live[dirWrite] <= c.cfg.WriteLo || c.live[dirWrite] == 0:
 			c.draining = false
-		case c.drainCount >= 2*c.cfg.WriteHi && len(c.readQ) > 0:
+		case c.drainCount >= 2*c.cfg.WriteHi && c.live[dirRead] > 0:
 			// Yield to the waiting reads immediately; the drain (and its
 			// episode counter) restarts on the next decision.
 			c.draining = false
@@ -254,10 +595,10 @@ func (c *channel) pickDirection() bool {
 			return true
 		}
 	}
-	if len(c.readQ) == 0 {
-		return len(c.writeQ) > 0
+	if c.live[dirRead] == 0 {
+		return c.live[dirWrite] > 0
 	}
-	if len(c.writeQ) >= c.cfg.WriteHi {
+	if c.live[dirWrite] >= c.cfg.WriteHi {
 		c.draining = true
 		c.drainCount = 1
 		return true
@@ -265,11 +606,10 @@ func (c *channel) pickDirection() bool {
 	return false
 }
 
-// pickFRFCFS returns the index of the request to issue next: the oldest
-// row-hit in a different bank than the previous CAS if one exists (bank-
-// group interleaving hides tCCD_L, which is how real controllers keep the
-// bus saturated), otherwise the oldest row-hit, otherwise the oldest
-// request.
+// pick returns the slot to issue next: the oldest row-hit in a different
+// bank than the previous CAS if one exists (bank-group interleaving hides
+// tCCD_L, which is how real controllers keep the bus saturated), otherwise
+// the oldest row-hit, otherwise the oldest request.
 //
 // Unfairness is bounded by a bypass count, not by age: the read-queue head
 // may be bypassed by row hits at most BypassCap times before it is served
@@ -277,85 +617,186 @@ func (c *channel) pickDirection() bool {
 // row-miss service per BypassCap hits regardless of load, unlike time-based
 // aging, which under saturation escalates everything and collapses row-hit
 // batching (and with it, bandwidth).
-func (c *channel) pickFRFCFS(q []chanReq, isRead bool) int {
-	limit := c.cfg.FRFCFSWindow
-	if limit > len(q) {
-		limit = len(q)
-	}
+//
+// The scan is incremental: instead of walking the queue window per decide,
+// the per-bank match bitmap names exactly the banks holding a pending
+// request to their open row; the oldest-arrival winner among the available
+// ones is the pick. The FRFCFSWindow bound on reorder depth is preserved
+// exactly: the per-bank match is the oldest hit of its bank, so the global
+// oldest hit — and any hit inside the first FRFCFSWindow queue entries — is
+// always some bank's match. A candidate only needs its queue position
+// checked when the queue is deeper than the window, and even then the check
+// is O(1) whenever arrival-sequence distance from the head already proves
+// membership (positions count live entries, sequence distance also counts
+// issued ones, so distance bounds position from above).
+func (c *channel) pick(dir int, head int32) int32 {
+	live := c.live[dir]
 	now := c.eng.Now()
+	hs := &c.slots[head]
+	isRead := dir == dirRead
 	if isRead {
-		if q[0].req != c.readHead {
-			c.readHead = q[0].req
+		if hs.req != c.readHead {
+			c.readHead = hs.req
 			c.readHeadBypass = 0
 		}
 		if c.cfg.BypassCap > 0 && c.readHeadBypass >= c.cfg.BypassCap {
-			return 0
+			return head
 		}
 	}
 	// Optional time-based escalation (disabled in the presets; see the
 	// AgeCap documentation).
 	if c.cfg.AgeCap > 0 {
-		bound := c.cfg.AgeCap + sim.Time(len(q))*c.t.Burst
-		if now-q[0].at > bound {
-			return 0
+		bound := c.cfg.AgeCap + sim.Time(live)*c.t.Burst
+		if now-hs.at > bound {
+			return head
 		}
 	}
-	firstHit := -1
-	for i := 0; i < limit; i++ {
-		loc := q[i].loc
-		bi := loc.Rank*c.cfg.Banks + loc.Bank
-		bk := &c.banks[bi]
-		if bk.openRow == loc.Row && c.rowAvailable(bk, loc.Rank, now) {
-			if bi != c.lastCASBank {
-				if isRead && i != 0 {
-					c.readHeadBypass++
-				}
-				return i
+	if live == 1 {
+		// Only the head is eligible; the scan could pick nothing else (a
+		// hit-pick of the head reports no bypass either way). This is the
+		// common case across the low-pressure half of every sweep.
+		return head
+	}
+	if now > c.availSweepAt {
+		c.sweepAvail(now)
+	}
+	var best, lastCand int32 = -1, -1
+	var bestSeq uint64
+	for w, word := range c.matchBits[dir] {
+		word &= c.availMask[w] // hits only count on banks whose row is still usable
+		for word != 0 {
+			bi := int32(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			bl := &c.bq[dir][bi]
+			if bi == c.lastCASBank {
+				lastCand = bl.match
+				continue
 			}
-			if firstHit < 0 {
-				firstHit = i
+			if best < 0 || bl.matchSeq < bestSeq {
+				best, bestSeq = bl.match, bl.matchSeq
 			}
 		}
 	}
-	if firstHit >= 0 {
-		if isRead && firstHit != 0 {
-			c.readHeadBypass++
-		}
-		return firstHit
+	windowed := live > c.cfg.FRFCFSWindow
+	choice := head
+	hit := false
+	switch {
+	// If the oldest different-bank hit is beyond the window, every
+	// different-bank hit is (younger hits sit even deeper), and the
+	// same-bank candidate decides; likewise from there to the head.
+	case best >= 0 && (!windowed || c.inWindow(dir, best, head)):
+		choice, hit = best, true
+	case lastCand >= 0 && (!windowed || c.inWindow(dir, lastCand, head)):
+		choice, hit = lastCand, true
 	}
-	return 0
+	if isRead && hit && choice != head {
+		c.readHeadBypass++
+	}
+	return choice
 }
 
-// rowAvailable reports whether the bank's open row is still usable at t:
-// it must not have auto-precharged after the idle-close timeout (adaptive
+// inWindow reports whether the slot sits among the first FRFCFSWindow live
+// entries of its queue. Sequence numbers are per queue, so the distance to
+// the head counts exactly the ring entries between them: the position is
+// that distance minus the tombstones among those entries. Distance below
+// the window proves membership; distance that stays at or above the window
+// after discounting every tombstone in the queue proves the opposite. In
+// the band between, the ring is compacted — an O(n) pass like the walk it
+// replaces, but it renumbers distance back to position, so decisions stay
+// O(1) until tombstones accumulate again.
+func (c *channel) inWindow(dir int, idx, head int32) bool {
+	limit := uint64(c.cfg.FRFCFSWindow)
+	dist := c.slots[idx].seq - c.slots[head].seq
+	if dist < limit {
+		return true
+	}
+	r := &c.queues[dir]
+	if dist >= limit+uint64(r.n-c.live[dir]) {
+		return false
+	}
+	c.compactRing(dir)
+	return c.slots[idx].seq-c.slots[head].seq < limit
+}
+
+// rowAvail reports whether the bank's open row is still usable at t: it
+// must not have auto-precharged after the idle-close timeout (adaptive
 // page policy) and must not have been closed by an intervening refresh.
-func (c *channel) rowAvailable(bk *bank, rank int, t sim.Time) bool {
-	if bk.openRow < 0 {
-		return false
+// Both deadlines were folded into availUntil when the bank was last
+// touched.
+func (c *channel) rowAvail(bi int32, t sim.Time) bool {
+	bk := &c.banks[bi]
+	return bk.openRow >= 0 && t <= bk.availUntil
+}
+
+// sweepAvail retires expired banks from the availability mask and advances
+// the watermark to the earliest remaining expiry. It runs only when a
+// decide crosses the watermark — under load, banks are re-touched long
+// before they expire, so sweeps are rare.
+func (c *channel) sweepAvail(now sim.Time) {
+	const never = sim.Time(1) << 62
+	min := never
+	for w, word := range c.availMask {
+		for rest := word; rest != 0; {
+			bi := int32(w<<6 + bits.TrailingZeros64(rest))
+			rest &= rest - 1
+			until := c.banks[bi].availUntil
+			if until < now {
+				word &^= 1 << (uint(bi) & 63)
+			} else if until < min {
+				min = until
+			}
+		}
+		c.availMask[w] = word
 	}
-	if c.cfg.IdleClose > 0 && t-bk.lastTouch > c.cfg.IdleClose {
-		return false
+	c.availSweepAt = min
+}
+
+// touchBank stamps the end of a data burst on the bank and recomputes its
+// availability deadline: the idle-close timeout, capped by the instant
+// before the first refresh window start after the touch (that refresh
+// closes the row; commands at the window start itself already see it
+// closed).
+func (c *channel) touchBank(bi int32, rank int32, at sim.Time) {
+	bk := &c.banks[bi]
+	bk.lastTouch = at
+	const never = sim.Time(1) << 62
+	until := never
+	if c.cfg.IdleClose > 0 {
+		until = at + c.cfg.IdleClose
 	}
-	if rs := c.lastRefreshStart(rank, t); rs >= 0 && bk.lastTouch < rs {
-		return false
+	if c.t.REFI > 0 {
+		next := c.refOffset[rank]
+		if at >= next {
+			next = c.refWindowStart(rank, at) + c.t.REFI
+		}
+		if next-1 < until {
+			until = next - 1
+		}
 	}
-	return true
+	bk.availUntil = until
+	c.availMask[bi>>6] |= 1 << (uint(bi) & 63)
+	if until < c.availSweepAt {
+		c.availSweepAt = until
+	}
 }
 
 // issue commits one transaction: resolves the row outcome, computes the
 // earliest legal data burst, updates bank/rank/bus state and schedules the
-// completion callback.
-func (c *channel) issue(cr chanReq, isWrite bool) {
+// completion callback. The slot has already been detached from its queue
+// and bank list.
+func (c *channel) issue(idx int32, isWrite bool) {
+	s := &c.slots[idx]
 	now := c.eng.Now()
-	loc := cr.loc
-	rank := loc.Rank
-	bk := &c.banks[rank*c.cfg.Banks+loc.Bank]
+	rank := s.rank
+	bi := s.bi
+	bk := &c.banks[bi]
 
+	avail := c.rowAvail(bi, now)
 	var outcome rowOutcome
 	switch {
-	case c.rowAvailable(bk, rank, now) && bk.openRow == loc.Row:
+	case avail && bk.openRow == s.row:
 		outcome = rowHit
-	case !c.rowAvailable(bk, rank, now):
+	case !avail:
 		outcome = rowEmpty
 	default:
 		outcome = rowMiss
@@ -397,7 +838,8 @@ func (c *channel) issue(cr chanReq, isWrite bool) {
 	if outcome != rowHit {
 		c.recordActivate(rank, act)
 		bk.actAt = act
-		bk.openRow = loc.Row
+		bk.openRow = s.row
+		c.rescanBank(bi)
 	}
 	bk.casReadyAt = casIssue + c.t.CCD
 	if isWrite {
@@ -406,31 +848,33 @@ func (c *channel) issue(cr chanReq, isWrite bool) {
 		bk.preReadyAt = maxTime(bk.actAt+c.t.RAS, casIssue+c.t.RTP)
 	}
 	bk.actReadyAt = bk.preReadyAt + c.t.RP
-	bk.lastTouch = dataEnd
+	c.touchBank(bi, rank, dataEnd)
 	c.busFreeAt = dataEnd
 	c.lastIsW = isWrite
 	c.haveDir = true
-	c.lastCASBank = rank*c.cfg.Banks + loc.Bank
+	c.lastCASBank = bi
 
 	c.rowStats.add(outcome)
-	c.counters.Add(cr.req.Op, cr.req.Bytes())
+	req := s.req
+	s.req = nil
+	c.counters.Add(req.Op, req.Bytes())
 
 	if isWrite {
 		// Posted write: completion (= write-queue acceptance upstream,
 		// drain here) releases the pooled record at the burst end.
-		cr.req.CompleteAt(c.eng, dataEnd)
+		req.CompleteAt(c.eng, dataEnd)
 		return
 	}
 	completion := dataEnd + c.cfg.CtrlLatency
-	c.readLatSum += completion - cr.at
+	c.readLatSum += completion - s.at
 	c.readLatN++
-	cr.req.CompleteAt(c.eng, completion)
+	req.CompleteAt(c.eng, completion)
 }
 
 // rankActConstraint reports the earliest time a new ACT may issue in the
 // rank, honouring tRRD and tFAW. Refresh windows are applied separately via
 // refreshAdjust.
-func (c *channel) rankActConstraint(rank int) sim.Time {
+func (c *channel) rankActConstraint(rank int32) sim.Time {
 	earliest := c.lastAct[rank] + c.t.RRD
 	if h := c.actHist[rank]; len(h) == 4 {
 		if t := h[0] + c.t.FAW; t > earliest {
@@ -440,7 +884,7 @@ func (c *channel) rankActConstraint(rank int) sim.Time {
 	return earliest
 }
 
-func (c *channel) recordActivate(rank int, at sim.Time) {
+func (c *channel) recordActivate(rank int32, at sim.Time) {
 	c.lastAct[rank] = at
 	h := c.actHist[rank]
 	if len(h) == 4 {
@@ -451,7 +895,7 @@ func (c *channel) recordActivate(rank int, at sim.Time) {
 	}
 }
 
-func (c *channel) queued() int { return len(c.readQ) + len(c.writeQ) }
+func (c *channel) queued() int { return c.live[dirRead] + c.live[dirWrite] }
 
 func maxTime(a, b sim.Time) sim.Time {
 	if a > b {

@@ -72,6 +72,14 @@ type Config struct {
 	// maximum-latency bound; the platform presets leave it disabled, as
 	// the hit-first schedule reproduces the measured curve shapes.
 	AgeCap sim.Time
+	// NoFusion disables decide-event fusion: every controller decision
+	// round-trips through a scheduled event instead of looping inline when
+	// it would be the engine's next event anyway. Fusion is legal exactly
+	// because it cannot change results — command sequence, timing and
+	// statistics are identical either way (enforced by the fig2 golden-CSV
+	// determinism test, which runs both settings) — so this knob exists
+	// only for that A/B validation and for isolating scheduler bugs.
+	NoFusion bool
 }
 
 // Validate reports a descriptive error for an unusable configuration.

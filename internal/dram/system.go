@@ -41,8 +41,8 @@ func (s *System) PeakBandwidthGBs() float64 { return s.cfg.PeakBandwidthGBs() }
 // completion fires at data return for reads, or at controller acceptance
 // for (posted) writes; the record returns to its pool either way.
 func (s *System) Access(req *mem.Request) {
-	loc := s.mapper.Map(req.Addr)
-	s.chans[loc.Channel].enqueue(req, loc)
+	ch, bi, rank, row := s.mapper.mapReq(req.Addr)
+	s.chans[ch].enqueue(req, bi, rank, row)
 }
 
 // Counters reports accumulated system-wide traffic counters, the model

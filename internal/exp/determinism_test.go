@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/platform"
+)
+
+// fig2QuickCSV runs the Quick fig2 experiment on a fresh (uncached,
+// unshared) characterization service and renders every resulting family in
+// the release CSV format.
+func fig2QuickCSV(t *testing.T) []byte {
+	t.Helper()
+	env := NewEnv(Quick, charz.New(charz.Config{}))
+	e, ok := ByID("fig2")
+	if !ok {
+		t.Fatal("fig2 not registered")
+	}
+	res, err := e.Run(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, fam := range res.Families {
+		if err := fam.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFig2ReleaseCSVDeterminism is the bit-exactness gate of the DRAM
+// scheduler: the Quick fig2 sweep must produce byte-identical release CSVs
+// across runs, and with decide-event fusion disabled. This is the contract
+// manual diffing enforced during the PR-2/PR-3 refactors, promoted to a
+// test so `go test ./...` catches any scheduler change that perturbs the
+// curves — and any fusion bug, since fusion is legal exactly because it
+// cannot change results.
+func TestFig2ReleaseCSVDeterminism(t *testing.T) {
+	first := fig2QuickCSV(t)
+	if len(first) == 0 {
+		t.Fatal("fig2 produced no CSV output")
+	}
+	second := fig2QuickCSV(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("fig2 release CSVs differ between identical runs:\nrun1:\n%s\nrun2:\n%s", first, second)
+	}
+
+	// The same characterization with fusion disabled: the scheduler takes
+	// only scheduled decide events, never the inline loop, and must land
+	// on the same curves byte for byte.
+	spec := scaleSpec(platform.Skylake(), Quick)
+	fused, err := NewEnv(Quick, charz.New(charz.Config{})).reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.DRAM.NoFusion = true
+	unfused, err := NewEnv(Quick, charz.New(charz.Config{})).reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufFused, bufUnfused bytes.Buffer
+	if err := fused.WriteCSV(&bufFused); err != nil {
+		t.Fatal(err)
+	}
+	if err := unfused.WriteCSV(&bufUnfused); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufFused.Bytes(), bufUnfused.Bytes()) {
+		t.Fatalf("decide-event fusion changed the curves:\nfused:\n%s\nunfused:\n%s",
+			bufFused.Bytes(), bufUnfused.Bytes())
+	}
+}

@@ -93,30 +93,75 @@ func TimerRearm(eng *sim.Engine, n int) {
 	eng.Run()
 }
 
-// ClosedLoopDriver issues read requests against a memory backend with up
-// to 256 outstanding, each completion re-issuing — the saturation pattern
-// of the model throughput measurements. The address walk spreads across 48
-// streams with a row-buffer-hostile stride. Requests ride the driver's
-// pool with one stored completion callback, so the steady-state loop is
-// the 0 allocs/op pattern the BENCH_sim.json allocs_per_op column tracks.
-// The driver is reusable: repeated Run calls keep the pool, engine and
-// backend warm, which is how the steady-state allocation tests and the
-// messperf warmup measure the sustained path rather than cold-start
-// growth.
+// LoopPattern selects the address and operation stream of the closed-loop
+// driver. The reference pattern alone tracks the scheduler only on its
+// friendliest terms; the additional patterns pin the row-miss-dominated
+// and the mixed read/write (drain-episode) regimes in the BENCH_sim.json
+// trajectory, where scheduler regressions hide from a single workload.
+type LoopPattern uint8
+
+const (
+	// PatternReference is the historical workload: 48 read streams with a
+	// row-buffer-hostile inter-stream stride, sequential within a stream.
+	PatternReference LoopPattern = iota
+	// PatternRandom is a mapper-defeating xorshift walk over a 16 GiB
+	// span: essentially every access activates a new row in a pseudo-
+	// random bank — the all-miss regime where the pick scan finds no hits
+	// and the activate/refresh bookkeeping dominates.
+	PatternRandom
+	// PatternMixed issues the reference walk at a 2:1 read/write ratio;
+	// the posted writes build the controller's write queue to its
+	// watermark and force periodic drain episodes with bus turnarounds.
+	PatternMixed
+)
+
+func (p LoopPattern) String() string {
+	switch p {
+	case PatternRandom:
+		return "random"
+	case PatternMixed:
+		return "mixed"
+	default:
+		return "reference"
+	}
+}
+
+// ClosedLoopDriver issues requests against a memory backend with up to 256
+// outstanding, each completion re-issuing — the saturation pattern of the
+// model throughput measurements. Requests ride the driver's pool with one
+// stored completion callback, so the steady-state loop is the 0 allocs/op
+// pattern the BENCH_sim.json allocs_per_op column tracks. The driver is
+// reusable: repeated Run calls keep the pool, engine and backend warm,
+// which is how the steady-state allocation tests and the messperf warmup
+// measure the sustained path rather than cold-start growth.
 type ClosedLoopDriver struct {
 	eng     *sim.Engine
 	backend mem.Backend
 	pool    *mem.RequestPool
 	done    mem.DoneFunc
+	pattern LoopPattern
 
 	line      uint64
+	rng       uint64
 	completed int
 	target    int
 }
 
-// NewClosedLoop builds a driver over the backend.
+// NewClosedLoop builds a driver over the backend running the reference
+// pattern.
 func NewClosedLoop(eng *sim.Engine, backend mem.Backend) *ClosedLoopDriver {
-	d := &ClosedLoopDriver{eng: eng, backend: backend, pool: mem.NewRequestPool()}
+	return NewClosedLoopPattern(eng, backend, PatternReference)
+}
+
+// NewClosedLoopPattern builds a driver running the given pattern.
+func NewClosedLoopPattern(eng *sim.Engine, backend mem.Backend, pattern LoopPattern) *ClosedLoopDriver {
+	d := &ClosedLoopDriver{
+		eng:     eng,
+		backend: backend,
+		pool:    mem.NewRequestPool(),
+		pattern: pattern,
+		rng:     0x9e3779b97f4a7c15,
+	}
 	d.done = func(sim.Time, *mem.Request) {
 		d.completed++
 		if d.completed < d.target {
@@ -127,9 +172,24 @@ func NewClosedLoop(eng *sim.Engine, backend mem.Backend) *ClosedLoopDriver {
 }
 
 func (d *ClosedLoopDriver) issue() {
+	// The reference walk is shared: random replaces the address, mixed
+	// replaces every third op — so the patterns stay variants of one
+	// stream rather than three drifting copies.
 	addr := (d.line%48)*(1<<28+97*64) + (d.line/48)*64
+	op := mem.Read
+	switch d.pattern {
+	case PatternRandom:
+		d.rng ^= d.rng << 13
+		d.rng ^= d.rng >> 7
+		d.rng ^= d.rng << 17
+		addr = d.rng % (16 << 30) &^ 63
+	case PatternMixed:
+		if d.line%3 == 2 {
+			op = mem.Write
+		}
+	}
 	d.line++
-	d.backend.Access(d.pool.Get(addr, mem.Read, d.done))
+	d.backend.Access(d.pool.Get(addr, op, d.done))
 }
 
 // Run drives n requests to completion and drains the engine. A backend

@@ -26,9 +26,9 @@ const allocTolerance = 0.015
 // callback across runs. This is the -benchmem claim as a hard test: after
 // warmup the request lifecycle (Get → Access → scheduled completion →
 // release) must not allocate.
-func steadyStateAllocsPerOp(t *testing.T, eng *sim.Engine, backend mem.Backend, opsPerRun int) float64 {
+func steadyStateAllocsPerOp(t *testing.T, eng *sim.Engine, backend mem.Backend, pattern perfload.LoopPattern, opsPerRun int) float64 {
 	t.Helper()
-	d := perfload.NewClosedLoop(eng, backend)
+	d := perfload.NewClosedLoopPattern(eng, backend, pattern)
 	for i := 0; i < 4; i++ {
 		d.Run(opsPerRun) // warm: pool records, engine event pool, controller queues
 	}
@@ -39,18 +39,25 @@ func steadyStateAllocsPerOp(t *testing.T, eng *sim.Engine, backend mem.Backend, 
 	return allocs / float64(opsPerRun)
 }
 
-func TestDRAMReferenceSteadyStateZeroAllocs(t *testing.T) {
-	eng := sim.New()
-	sys := dram.New(eng, dram.DDR4(2666, 2, 2))
-	if per := steadyStateAllocsPerOp(t, eng, sys, 4000); per >= allocTolerance {
-		t.Fatalf("DRAM reference steady state allocates %.4f/op, want ~0", per)
+// Every DRAM traffic regime the trajectory tracks must hold the
+// zero-allocation claim: the random pattern stresses the activate/rescan
+// path, the mixed pattern the write queue and its ring.
+func TestDRAMSteadyStateZeroAllocs(t *testing.T) {
+	for _, pattern := range []perfload.LoopPattern{perfload.PatternReference, perfload.PatternRandom, perfload.PatternMixed} {
+		t.Run(pattern.String(), func(t *testing.T) {
+			eng := sim.New()
+			sys := dram.New(eng, dram.DDR4(2666, 2, 2))
+			if per := steadyStateAllocsPerOp(t, eng, sys, pattern, 4000); per >= allocTolerance {
+				t.Fatalf("DRAM %s steady state allocates %.4f/op, want ~0", pattern, per)
+			}
+		})
 	}
 }
 
 func TestMessSimulatorSteadyStateZeroAllocs(t *testing.T) {
 	eng := sim.New()
 	s := messsim.New(eng, messsim.Config{Family: core.NewSynthetic(core.SyntheticSpec{})})
-	if per := steadyStateAllocsPerOp(t, eng, s, 4000); per >= allocTolerance {
+	if per := steadyStateAllocsPerOp(t, eng, s, perfload.PatternReference, 4000); per >= allocTolerance {
 		t.Fatalf("Mess simulator steady state allocates %.4f/op, want ~0", per)
 	}
 }

@@ -83,13 +83,14 @@ const (
 // free list with its generation bumped, which invalidates every Handle that
 // still points at it.
 type event struct {
-	at   Time
-	seq  uint64 // tie-break so equal-time events run in schedule order
-	gen  uint64 // bumped on recycle; Handles must match to act
-	dead bool   // cancelled tombstone, swept lazily
-	fn   func()
-	tfn  func(Time) // timed variant: called with the deadline
-	next *event     // free-list link
+	at    Time
+	seq   uint64 // tie-break so equal-time events run in schedule order
+	gen   uint64 // bumped on recycle; Handles must match to act
+	dead  bool   // cancelled tombstone, swept lazily
+	inCur bool   // resident in the active run (drives tombstone compaction)
+	fn    func()
+	tfn   func(Time) // timed variant: called with the deadline
+	next  *event     // free-list link
 }
 
 // Handle identifies one scheduled event. The zero Handle is valid and inert.
@@ -114,6 +115,9 @@ func (h Handle) Cancel() {
 	h.ev.dead = true
 	h.ev.fn, h.ev.tfn = nil, nil
 	h.eng.live--
+	if h.ev.inCur {
+		h.eng.curDead++
+	}
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is intentionally
@@ -127,9 +131,14 @@ type Engine struct {
 
 	// cur is the active sorted run: every queued event whose slot is
 	// ≤ wslot, ordered by (at, seq) and served from curPos. New events
-	// landing at or before the cursor are merge-inserted here.
-	cur    []*event
-	curPos int
+	// landing at or before the cursor are merge-inserted here. curDead
+	// counts tombstones resident in the unserved tail: when they dominate
+	// it, insertCur compacts instead of memmoving over dead records —
+	// without this, schedule+cancel churn at the cursor degenerates to
+	// O(n) per insert.
+	cur     []*event
+	curPos  int
+	curDead int
 
 	wslot   int64 // wheel cursor: absolute slot (at >> granBits)
 	wheelN  int   // events resident in buckets
@@ -139,6 +148,9 @@ type Engine struct {
 	overflow []*event // min-heap by (at, seq): events beyond the horizon
 
 	pool *event // free list of recycled records
+
+	bound    Time // active RunUntil target, for RunBound
+	hasBound bool
 }
 
 // New returns an Engine with its clock at zero.
@@ -175,6 +187,21 @@ func (e *Engine) add(at Time, fn func(), tfn func(Time)) Handle {
 	if at < e.now {
 		at = e.now
 	}
+	// Keep the wheel cursor abreast of the clock while no events reside in
+	// buckets. RunUntil (and far-future cascades) can advance the clock many
+	// horizons past wslot; without this catch-up, every short-delta schedule
+	// after such a jump computes slot-wslot ≥ wheelSize and detours through
+	// the overflow heap — the pathology that made cancel-heavy churn pay
+	// O(log n) heap traffic for deadlines only nanoseconds away. The jump is
+	// safe exactly when the buckets are empty: cur entries are served
+	// regardless of the cursor, and every pending overflow event has a
+	// deadline ≥ now, so its slot stays ahead of (or lands on) the new
+	// cursor and cascades normally.
+	if e.wheelN == 0 {
+		if nowSlot := int64(e.now) >> granBits; nowSlot > e.wslot {
+			e.wslot = nowSlot
+		}
+	}
 	ev := e.alloc()
 	ev.at, ev.seq, ev.fn, ev.tfn = at, e.seq, fn, tfn
 	e.seq++
@@ -202,6 +229,10 @@ func less(a, b *event) bool {
 // new event carries the highest seq, so it lands after every queued event
 // with an equal or earlier deadline — exactly the (at, seq) order.
 func (e *Engine) insertCur(ev *event) {
+	if e.curDead >= 64 && 2*e.curDead >= len(e.cur)-e.curPos {
+		e.compactCur()
+	}
+	ev.inCur = true
 	lo, hi := e.curPos, len(e.cur)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -216,7 +247,29 @@ func (e *Engine) insertCur(ev *event) {
 	e.cur[lo] = ev
 }
 
+// compactCur sweeps tombstones out of the unserved tail of the active run,
+// preserving the order of the survivors. Triggered when dead records are
+// about to dominate insert cost; amortized O(1) per cancel.
+func (e *Engine) compactCur() {
+	out := e.curPos
+	for i := e.curPos; i < len(e.cur); i++ {
+		ev := e.cur[i]
+		if ev.dead {
+			e.recycle(ev)
+			continue
+		}
+		e.cur[out] = ev
+		out++
+	}
+	for i := out; i < len(e.cur); i++ {
+		e.cur[i] = nil
+	}
+	e.cur = e.cur[:out]
+	e.curDead = 0
+}
+
 func (e *Engine) bucketAdd(slot int64, ev *event) {
+	ev.inCur = false
 	idx := slot & wheelMask
 	e.buckets[idx] = append(e.buckets[idx], ev)
 	e.occ[idx>>6] |= 1 << (uint(idx) & 63)
@@ -232,6 +285,7 @@ func (e *Engine) peek() *event {
 			ev := e.cur[e.curPos]
 			if ev.dead {
 				e.curPos++
+				e.curDead--
 				e.recycle(ev)
 				continue
 			}
@@ -257,6 +311,10 @@ func (e *Engine) peek() *event {
 			}
 			ev := e.heapPop()
 			if slot := int64(ev.at) >> granBits; slot <= e.wslot {
+				ev.inCur = true
+				if ev.dead {
+					e.curDead++
+				}
 				e.cur = append(e.cur, ev)
 			} else {
 				e.bucketAdd(slot, ev)
@@ -266,11 +324,28 @@ func (e *Engine) peek() *event {
 			continue
 		}
 		// Advance to the next occupied bucket and make it the active run.
+		// Tombstones are swept here, before sorting: a cancel-heavy burst
+		// can fill a bucket with dead records, and ordering them first
+		// would waste the whole sort on events that fire nothing.
 		e.wslot += e.nextOccupied()
 		idx := e.wslot & wheelMask
 		e.cur, e.buckets[idx] = e.buckets[idx], e.cur[:0]
 		e.occ[idx>>6] &^= 1 << (uint(idx) & 63)
 		e.wheelN -= len(e.cur)
+		out := 0
+		for _, ev := range e.cur {
+			if ev.dead {
+				e.recycle(ev)
+				continue
+			}
+			ev.inCur = true
+			e.cur[out] = ev
+			out++
+		}
+		for i := out; i < len(e.cur); i++ {
+			e.cur[i] = nil
+		}
+		e.cur = e.cur[:out]
 		sortEvents(e.cur)
 	}
 }
@@ -296,8 +371,11 @@ func (e *Engine) nextOccupied() int64 {
 }
 
 // sortEvents orders a drained bucket by (at, seq). Buckets span 256 ps and
-// are appended in schedule order, so runs are short and nearly sorted;
-// insertion sort beats the generic sort here.
+// are appended in schedule order, so live runs are short and nearly
+// sorted; insertion sort beats the generic sort here (a pdqsort fallback
+// for long runs measured ~50% slower on the dense-wheel workload, because
+// even crowded buckets arrive almost in order once tombstones are swept
+// before sorting).
 func sortEvents(evs []*event) {
 	for i := 1; i < len(evs); i++ {
 		ev := evs[i]
@@ -326,8 +404,34 @@ func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn, ev.tfn = nil, nil
 	ev.dead = false
+	ev.inCur = false
 	ev.next = e.pool
 	e.pool = ev
+}
+
+// NextDeadline reports the deadline of the earliest pending event without
+// firing it; ok is false when the queue is empty. Components that pace
+// themselves with recurring self-events (the DRAM decide loop) use it to
+// fuse iterations: when the component's own next event would be the
+// engine's next event anyway, it may run the work inline at that time
+// (advancing the clock with RunUntil, which fires nothing when every
+// pending deadline lies beyond the target) — the ordering is identical by
+// construction, without the schedule/fire round-trip. Peeking may
+// restructure internal queues (cascade overflow events, advance the wheel
+// cursor) but never reorders or fires anything.
+func (e *Engine) NextDeadline() (at Time, ok bool) {
+	// Fast path for the fusion loop's per-iteration check: a live head in
+	// the active run answers without touching the wheel.
+	if e.curPos < len(e.cur) {
+		if ev := e.cur[e.curPos]; !ev.dead {
+			return ev.at, true
+		}
+	}
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // Step runs the next event. It reports false when the queue is empty.
@@ -360,8 +464,14 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with deadlines ≤ t, then advances the clock to t.
-// Events scheduled exactly at t do run.
+// Events scheduled exactly at t do run. While it runs, t is visible to
+// callbacks as RunBound: self-pacing components that fuse their recurring
+// events inline (the DRAM decide loop) stop at the bound, so work beyond t
+// stays queued exactly as it would with one event per iteration. Nested
+// RunUntil calls narrow the bound for their duration and restore it.
 func (e *Engine) RunUntil(t Time) {
+	prevBound, prevHas := e.bound, e.hasBound
+	e.bound, e.hasBound = t, true
 	for {
 		ev := e.peek()
 		if ev == nil || ev.at > t {
@@ -372,7 +482,13 @@ func (e *Engine) RunUntil(t Time) {
 	if e.now < t {
 		e.now = t
 	}
+	e.bound, e.hasBound = prevBound, prevHas
 }
+
+// RunBound reports the target time of the innermost RunUntil currently
+// executing; ok is false outside any RunUntil (Run, RunWhile, direct Step),
+// where a drain has no boundary for fused work to respect.
+func (e *Engine) RunBound() (t Time, ok bool) { return e.bound, e.hasBound }
 
 // RunWhile executes events while cond() holds and events remain.
 func (e *Engine) RunWhile(cond func() bool) {
@@ -411,13 +527,14 @@ func (e *Engine) Reset() {
 		e.recycle(ev)
 	}
 	e.overflow = e.overflow[:0]
-	e.now, e.seq, e.nsteps, e.live, e.wslot = 0, 0, 0, 0, 0
+	e.now, e.seq, e.nsteps, e.live, e.wslot, e.curDead = 0, 0, 0, 0, 0, 0
 }
 
 // Overflow heap: a plain slice min-heap by (at, seq), hand-rolled to avoid
 // the container/heap interface dispatch on the far-event path.
 
 func (e *Engine) heapPush(ev *event) {
+	ev.inCur = false
 	h := append(e.overflow, ev)
 	i := len(h) - 1
 	for i > 0 {

@@ -637,3 +637,111 @@ func TestTickerStopOutsideCallbackCancelsPending(t *testing.T) {
 		t.Fatalf("ticker fired %d times, want 2", n)
 	}
 }
+
+func TestNextDeadline(t *testing.T) {
+	e := New()
+	if _, ok := e.NextDeadline(); ok {
+		t.Fatal("empty engine reports a deadline")
+	}
+	e.Schedule(40, func() {})
+	e.Schedule(15, func() {})
+	if at, ok := e.NextDeadline(); !ok || at != 15 {
+		t.Fatalf("NextDeadline = %d,%v, want 15,true", at, ok)
+	}
+	// Peeking consumes nothing and fires nothing.
+	if at, ok := e.NextDeadline(); !ok || at != 15 {
+		t.Fatalf("second NextDeadline = %d,%v, want 15,true", at, ok)
+	}
+	if e.Steps() != 0 || e.Pending() != 2 {
+		t.Fatalf("peek executed events: steps=%d pending=%d", e.Steps(), e.Pending())
+	}
+	e.Step()
+	if at, ok := e.NextDeadline(); !ok || at != 40 {
+		t.Fatalf("NextDeadline after step = %d,%v, want 40,true", at, ok)
+	}
+	// A cancelled head is skipped, not reported.
+	h := e.Schedule(20, func() {})
+	_ = h
+	h2 := e.Schedule(25, func() {})
+	h.Cancel()
+	_ = h2
+	if at, ok := e.NextDeadline(); !ok || at != 25 {
+		t.Fatalf("NextDeadline over tombstone = %d,%v, want 25,true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.NextDeadline(); ok {
+		t.Fatal("drained engine reports a deadline")
+	}
+}
+
+// NextDeadline must see events in every internal structure: the active run,
+// the wheel buckets, and the overflow heap.
+func TestNextDeadlineAcrossStructures(t *testing.T) {
+	e := New()
+	e.Schedule(5*Microsecond, func() {}) // far beyond the horizon: overflow
+	if at, ok := e.NextDeadline(); !ok || at != 5*Microsecond {
+		t.Fatalf("overflow-only NextDeadline = %d,%v", at, ok)
+	}
+	e.Schedule(100*Nanosecond, func() {}) // within the horizon: bucket
+	if at, ok := e.NextDeadline(); !ok || at != 100*Nanosecond {
+		t.Fatalf("bucket NextDeadline = %d,%v", at, ok)
+	}
+	e.Schedule(0, func() {}) // at/before the cursor: active run
+	if at, ok := e.NextDeadline(); !ok || at != 0 {
+		t.Fatalf("cur NextDeadline = %d,%v", at, ok)
+	}
+	e.Run()
+}
+
+// RunUntil advancing the clock across an empty wheel must not strand the
+// cursor behind the clock: short-delta schedules after the jump belong in
+// wheel buckets, and the (at, seq) order must hold across the boundary.
+func TestShortDeltaAfterClockJumpStaysOrdered(t *testing.T) {
+	e := New()
+	var order []Time
+	rec := func() { order = append(order, e.Now()) }
+	e.Schedule(10, rec)
+	e.Run()
+	e.RunUntil(3 * Microsecond) // ≫ the wheel horizon, queue empty
+	e.Schedule(e.Now()+300, rec)
+	e.Schedule(e.Now()+100, rec)
+	e.Schedule(e.Now()+200, rec)
+	e.Run()
+	want := []Time{10, e.Now() - 200, e.Now() - 100, e.Now()}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Cancel-heavy churn with periodic drains — the DRAM decide pattern at
+// steady state — must neither allocate per op nor detour through the
+// overflow heap. This pins the kernel/schedule_cancel trajectory fix: the
+// pathology was the wheel cursor lagging the clock after each drain, which
+// sent every subsequent short-delta schedule to the heap.
+func TestCancelHeavySteadyStateAllocs(t *testing.T) {
+	e := New()
+	nop := func() {}
+	churn := func(n int) {
+		for i := 0; i < n; i++ {
+			h := e.Schedule(e.Now()+Time(100+i%211), nop)
+			h.Cancel()
+			if i%1024 == 1023 {
+				e.RunUntil(e.Now() + 300*Nanosecond)
+			}
+		}
+		e.Run()
+	}
+	// Warm the pool and the bucket arrays. Each 1024-op drain cycle
+	// advances the clock more than a full wheel revolution, so successive
+	// cycles land in different bucket positions; covering all 1024 of them
+	// (growing each backing array once) takes on the order of a million
+	// ops before the steady state is allocation-free.
+	churn(1 << 20)
+	const ops = 16384
+	allocs := testing.AllocsPerRun(5, func() { churn(ops) })
+	if per := allocs / ops; per >= 0.01 {
+		t.Fatalf("cancel churn allocates %.4f/op at steady state, want ~0", per)
+	}
+}
