@@ -4,11 +4,14 @@
 //
 // With -cache-dir the curve family persists under the directory keyed by
 // its content fingerprint, so re-running the same characterization loads
-// it instead of simulating.
+// it instead of simulating. With -cache-url (or $MESS_CURVE_URL) the
+// family is shared fleet-wide through a cmd/messcurved curve server —
+// fetched if any machine already produced it, uploaded otherwise.
 //
 // Usage:
 //
 //	messbench -platform "Intel Skylake" [-full] [-out curves.csv] [-cache-dir ~/.cache/mess]
+//	messbench -platform "Intel Skylake" -cache-url http://curves.internal:9400
 //	messbench -list
 package main
 
@@ -31,6 +34,7 @@ func main() {
 		out      = flag.String("out", "", "write the curve family as CSV to this file")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
+		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 	)
 	flag.Parse()
 
@@ -47,7 +51,7 @@ func main() {
 		opt = mess.BenchmarkOptions{}
 	}
 
-	svc := cli.Service(*cacheDir, *cacheMax)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("characterizing %s ...\n", spec.String())
 	start := time.Now()
 	art, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
@@ -59,9 +63,9 @@ func main() {
 		points += len(c.Points)
 	}
 	switch art.Source {
-	case charz.SourceDisk:
-		fmt.Printf("loaded from cache (%s) in %s (%d curve points)\n\n",
-			art.Key.Short(), time.Since(start).Round(time.Millisecond), points)
+	case charz.SourceDisk, charz.SourceRemote:
+		fmt.Printf("loaded from %s cache (%s) in %s (%d curve points)\n\n",
+			art.Source, art.Key.Short(), time.Since(start).Round(time.Millisecond), points)
 	default:
 		fmt.Printf("done in %s (%d curve points)\n\n",
 			time.Since(start).Round(time.Millisecond), points)

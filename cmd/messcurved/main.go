@@ -1,0 +1,129 @@
+// Command messcurved serves a fleet-shared Mess curve store over HTTP, so
+// every machine in a fleet — CI runners, developer laptops, simulation
+// farms — performs each characterization once globally instead of once per
+// machine. Curve families are content-addressed by their charz fingerprint
+// and immutable, which makes the server a pure cache: no invalidation, no
+// coordination, and losing it costs a re-simulation, never correctness.
+//
+// # Usage
+//
+// Start a server fronting a (sharded, optionally size-bounded) on-disk
+// store, with an in-memory hot tier in front of it:
+//
+//	messcurved -addr :9400 -dir /var/cache/mess-curves -max-mb 4096
+//
+// Point the tools at it with -cache-url, or fleet-wide with the
+// MESS_CURVE_URL environment variable (a down server is fail-soft: the
+// tools silently fall back to their local tiers):
+//
+//	messexp -run all -cache-url http://curves.internal:9400
+//	export MESS_CURVE_URL=http://curves.internal:9400
+//	messbench -platform "Intel Skylake"
+//
+// # Protocol
+//
+//	GET  /v1/curves/{key}   curve family as release-format CSV
+//	                        (gzip when accepted; strong ETag; 304 on
+//	                        If-None-Match; 404 when absent)
+//	PUT  /v1/curves/{key}   upload a family (gzip accepted; the
+//	                        Content-SHA256 header, when present, is
+//	                        verified against the decompressed CSV;
+//	                        concurrent PUTs of one key are collapsed by
+//	                        per-key singleflight)
+//	GET  /v1/stats          JSON counters: hits, misses, revalidations,
+//	                        puts, put_dedups, bad_puts, bytes_in,
+//	                        bytes_out, store_bytes, evictions
+//	GET  /healthz           liveness probe
+//
+// {key} is the 64-digit lowercase-hex charz fingerprint. The same CSVs are
+// valid messbench/messexp artifacts, so a store directory can be inspected
+// (or seeded) with ordinary files.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/cli"
+	"github.com/mess-sim/mess/internal/curvestore"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9400", "listen address")
+		dir     = flag.String("dir", "mess-curves", "curve store directory (created if needed; sharded by key prefix)")
+		maxMB   = flag.Int("max-mb", 0, "bound the on-disk store size in MiB (0 = unbounded); LRU eviction")
+		hot     = flag.Int("hot-entries", 256, "in-memory hot-tier entries in front of the disk store (0 disables)")
+		maxBody = flag.Int64("max-body-mb", 64, "largest accepted upload in MiB (after decompression)")
+		verbose = flag.Bool("v", false, "log every request")
+	)
+	flag.Parse()
+
+	disk, err := charz.NewDiskStore(*dir)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	if *maxMB > 0 {
+		disk.SetMaxBytes(int64(*maxMB) << 20)
+	}
+
+	// The serving store is the canonical memory → disk tier order: hot
+	// families are answered without touching disk, and disk hits are
+	// promoted into the hot tier.
+	var store curvestore.Store = disk
+	if *hot > 0 {
+		store = curvestore.NewTiered(curvestore.NewMemory(*hot), disk)
+	}
+
+	logger := log.New(os.Stderr, "messcurved: ", log.LstdFlags)
+	cfg := curvestore.ServerConfig{
+		MaxBodyBytes: *maxBody << 20,
+		// Uploads persist straight to disk — a 204 always means durably
+		// stored; the hot tier fills on first GET via promotion.
+		SaveStore:  disk,
+		StatsStore: disk,
+	}
+	if *verbose {
+		cfg.Log = logger
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           curvestore.NewServer(store, cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("serving curve store %s on %s (hot tier: %d entries)", disk.Dir(), *addr, *hot)
+
+	select {
+	case err := <-errc:
+		cli.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight GET/PUTs, then exit. A second
+	// signal aborts via the context already being cancelled.
+	logger.Printf("shutting down ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		cli.Fatal(fmt.Errorf("shutdown: %w", err))
+	}
+	logger.Printf("bye")
+}

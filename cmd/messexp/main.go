@@ -5,13 +5,15 @@
 // All experiments in one invocation share a single characterization
 // service, so `-run all` performs each unique characterization exactly
 // once; with -cache-dir the curves additionally persist across
-// invocations.
+// invocations, and with -cache-url (or $MESS_CURVE_URL) they are shared
+// with the whole fleet through a cmd/messcurved curve server.
 //
 // Usage:
 //
 //	messexp -list
 //	messexp -run fig2
 //	messexp -run all -scale full -outdir results/ [-cache-dir ~/.cache/mess]
+//	messexp -run all -cache-url http://curves.internal:9400
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
+		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 	)
 	flag.Parse()
 
@@ -63,7 +66,7 @@ func main() {
 		}
 	}
 
-	svc := cli.Service(*cacheDir, *cacheMax)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()

@@ -17,6 +17,13 @@
 //     the fig2 experiment (full benchmark sweeps on fresh services, no
 //     caches).
 //
+// With -best-of N, every measurement is taken N times and only the best
+// sample (highest events/sec; lowest wall-clock for wall-only rows) is
+// recorded and gated. Single runs on shared CI runners carry scheduling
+// noise well above the 10% previous-run gate; the best of N is a far more
+// stable estimator of what the code can do on that machine, so CI runs
+// with -best-of 3.
+//
 // With -gate, messperf additionally compares the fresh results against a
 // baseline artifact and exits nonzero when any kernel benchmark's
 // events/sec dropped by more than -gate-drop, or when any result's
@@ -32,7 +39,7 @@
 // Usage:
 //
 //	messperf [-out BENCH_sim.json] [-kernel-events 4000000] [-model-events 300000]
-//	         [-skip-fig2] [-gate BENCH_sim.json] [-gate-drop 0.30]
+//	         [-best-of 3] [-skip-fig2] [-gate BENCH_sim.json] [-gate-drop 0.30]
 package main
 
 import (
@@ -74,7 +81,20 @@ type Report struct {
 	Generated  string   `json:"generated"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	BestOf     int      `json:"best_of,omitempty"`
 	Results    []Result `json:"results"`
+}
+
+// better reports whether a is a better sample of the same measurement
+// than b: more events/sec for op-counted rows, less wall-clock for
+// wall-only ones. Under -best-of, "best" is the right statistic — the
+// minimum of a latency-like measurement estimates the noise floor, where
+// the mean smears scheduler interference into the trajectory.
+func better(a, b Result) bool {
+	if a.Ops > 0 && b.Ops > 0 {
+		return a.EventsPerSec > b.EventsPerSec
+	}
+	return a.WallMs < b.WallMs
 }
 
 func measure(name string, ops int, run func()) Result {
@@ -175,6 +195,7 @@ func main() {
 		out          = flag.String("out", "BENCH_sim.json", "write the JSON report here")
 		kernelEvents = flag.Int("kernel-events", 4_000_000, "events per kernel micro-measurement")
 		modelEvents  = flag.Int("model-events", 300_000, "requests per model measurement")
+		bestOfN      = flag.Int("best-of", 1, "take each measurement N times and keep the best (suppresses single-run runner noise)")
 		skipFig2     = flag.Bool("skip-fig2", false, "skip the Quick-scale fig2 characterization")
 		gateAgainst  = flag.String("gate", "", "baseline BENCH_sim.json to gate kernel events/sec against")
 		gateDrop     = flag.Float64("gate-drop", 0.30, "maximum tolerated fractional events/sec drop per kernel benchmark")
@@ -183,11 +204,27 @@ func main() {
 	)
 	flag.Parse()
 
+	if *bestOfN < 1 {
+		*bestOfN = 1
+	}
 	rep := Report{
 		Schema:     Schema,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BestOf:     *bestOfN,
+	}
+	// best re-takes a whole measurement (engine construction, warmup and
+	// all) -best-of times and keeps the best sample, so every recorded row
+	// is comparably the machine's noise floor.
+	best := func(f func() Result) Result {
+		r := f()
+		for i := 1; i < *bestOfN; i++ {
+			if s := f(); better(s, r) {
+				r = s
+			}
+		}
+		return r
 	}
 	add := func(r Result) {
 		rep.Results = append(rep.Results, r)
@@ -203,14 +240,16 @@ func main() {
 		}
 	}
 	kernel := func(name string, load func(*mess.Engine, int)) {
-		eng := mess.NewEngine()
-		n := *kernelEvents
-		// Warm the engine first (event pool, wheel buckets, overflow
-		// array): without it, short -kernel-events runs measure mostly
-		// cold-start growth and are not comparable with a baseline taken
-		// at a different event count.
-		load(eng, n/8)
-		add(measure("kernel/"+name, n, func() { load(eng, n) }))
+		add(best(func() Result {
+			eng := mess.NewEngine()
+			n := *kernelEvents
+			// Warm the engine first (event pool, wheel buckets, overflow
+			// array): without it, short -kernel-events runs measure mostly
+			// cold-start growth and are not comparable with a baseline
+			// taken at a different event count.
+			load(eng, n/8)
+			return measure("kernel/"+name, n, func() { load(eng, n) })
+		}))
 	}
 
 	kernel("schedule_fire", perfload.ScheduleFire)
@@ -231,9 +270,12 @@ func main() {
 		}
 		return m
 	}
-	add(modelThroughput("model/dram_reference", *modelEvents, perfload.PatternReference, mkReference))
-	add(modelThroughput("model/dram_random", *modelEvents, perfload.PatternRandom, mkReference))
-	add(modelThroughput("model/dram_mixed", *modelEvents, perfload.PatternMixed, mkReference))
+	modelBest := func(name string, pattern perfload.LoopPattern, mk func(eng *mess.Engine) mess.MemBackend) {
+		add(best(func() Result { return modelThroughput(name, *modelEvents, pattern, mk) }))
+	}
+	modelBest("model/dram_reference", perfload.PatternReference, mkReference)
+	modelBest("model/dram_random", perfload.PatternRandom, mkReference)
+	modelBest("model/dram_mixed", perfload.PatternMixed, mkReference)
 
 	// The Mess analytical simulator needs a curve family; its production is
 	// itself the framework-level measurement (a Quick characterization on a
@@ -242,24 +284,28 @@ func main() {
 	spec.Cores = 8
 	spec.DRAM.Channels = 3
 	var fam *mess.Family
-	add(measure("framework/characterize_quick", 0, func() {
-		svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
-		art, err := svc.Characterize(mess.CharacterizationRequest{Spec: spec, Options: mess.QuickBenchmarkOptions()})
-		if err != nil {
-			cli.Fatal(err)
-		}
-		fam = art.Family
-	}))
-	add(modelThroughput("model/mess_simulator", *modelEvents, perfload.PatternReference, func(eng *mess.Engine) mess.MemBackend {
-		return mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
-	}))
-
-	if !*skipFig2 {
-		add(measure("framework/fig2_quick", 0, func() {
+	add(best(func() Result {
+		return measure("framework/characterize_quick", 0, func() {
 			svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
-			if _, err := mess.RunExperimentWith(svc, "fig2", mess.ScaleQuick); err != nil {
+			art, err := svc.Characterize(mess.CharacterizationRequest{Spec: spec, Options: mess.QuickBenchmarkOptions()})
+			if err != nil {
 				cli.Fatal(err)
 			}
+			fam = art.Family
+		})
+	}))
+	modelBest("model/mess_simulator", perfload.PatternReference, func(eng *mess.Engine) mess.MemBackend {
+		return mess.NewSimulator(eng, mess.SimulatorConfig{Family: fam})
+	})
+
+	if !*skipFig2 {
+		add(best(func() Result {
+			return measure("framework/fig2_quick", 0, func() {
+				svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+				if _, err := mess.RunExperimentWith(svc, "fig2", mess.ScaleQuick); err != nil {
+					cli.Fatal(err)
+				}
+			})
 		}))
 	}
 

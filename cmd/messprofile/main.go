@@ -7,6 +7,7 @@
 // Usage:
 //
 //	messprofile -platform "Intel Cascade Lake" [-trace profile.prv] [-cache-dir ~/.cache/mess]
+//	messprofile -platform "Intel Cascade Lake" -cache-url http://curves.internal:9400
 package main
 
 import (
@@ -31,12 +32,13 @@ func main() {
 		durUs    = flag.Int("duration-us", 2000, "simulated application duration in microseconds")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
+		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 	)
 	flag.Parse()
 
 	spec := cli.MustPlatform(*name)
 
-	svc := cli.Service(*cacheDir, *cacheMax)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("characterizing %s for the profiling curves ...\n", spec.Name)
 	ref, err := svc.Characterize(charz.Request{Spec: spec, Options: bench.QuickOptions()})
 	if err != nil {

@@ -4,7 +4,9 @@
 // reference model — the Sec. IV/V methodology as a tool.
 //
 // The reference and per-model characterizations flow through one
-// characterization service; with -cache-dir they persist across runs.
+// characterization service; with -cache-dir they persist across runs, and
+// with -cache-url (or $MESS_CURVE_URL) they are shared across machines
+// via a cmd/messcurved curve server.
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ func main() {
 		full     = flag.Bool("full", false, "use the full benchmark sweep")
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
+		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 	)
 	flag.Parse()
 
@@ -48,7 +51,7 @@ func main() {
 		opt = bench.Options{}
 	}
 
-	svc := cli.Service(*cacheDir, *cacheMax)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("reference characterization of %s ...\n", spec.Name)
 	refArt, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
 	if err != nil {

@@ -1,0 +1,87 @@
+package mess_test
+
+import (
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/mess-sim/mess"
+	"github.com/mess-sim/mess/internal/curvestore"
+)
+
+// TestCurveStoreFacade exercises the fleet-shared curve store exactly as
+// an external embedder would: facade-built stores and clients around an
+// in-process curve server (the cmd/messcurved handler).
+func TestCurveStoreFacade(t *testing.T) {
+	disk, err := mess.NewCurveStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(curvestore.NewServer(
+		mess.NewTieredCurveStore(mess.NewMemoryCurveStore(8), disk),
+		curvestore.ServerConfig{},
+	))
+	defer server.Close()
+
+	fam := &mess.Family{
+		Label:         "facade",
+		TheoreticalBW: 128,
+		Curves: []mess.Curve{
+			{ReadRatio: 1, Points: []mess.Point{{BW: 1, Latency: 90}, {BW: 100, Latency: 240}}},
+		},
+	}
+	var runs atomic.Int64
+	stubRun := func(spec mess.Platform, opt mess.BenchmarkOptions) (*mess.BenchmarkResult, error) {
+		runs.Add(1)
+		return &mess.BenchmarkResult{Spec: spec, Family: fam}, nil
+	}
+	newSvc := func() *mess.CharacterizationService {
+		remote, err := mess.NewRemoteCurveStore(server.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mess.NewCharacterizationService(mess.CharacterizationConfig{
+			Remote: remote,
+			Run:    stubRun,
+		})
+	}
+
+	req := mess.CharacterizationRequest{Spec: mess.Skylake(), Options: mess.QuickBenchmarkOptions()}
+	first, err := newSvc().Characterize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != mess.FromRun {
+		t.Fatalf("first source = %v, want %v", first.Source, mess.FromRun)
+	}
+	// A second "machine" (fresh service, fresh client) gets the family
+	// from the fleet store: zero additional runs.
+	second, err := newSvc().Characterize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != mess.FromRemote {
+		t.Fatalf("second source = %v (%s), want %v", second.Source, second.Source, mess.FromRemote)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("fleet ran %d simulations for one key, want 1", runs.Load())
+	}
+	if second.Family.Label != "facade" || len(second.Family.Curves) != 1 {
+		t.Fatalf("remote family mangled: %+v", second.Family)
+	}
+
+	// The tiered composition is usable standalone: a save surfaces in
+	// both tiers and a lookup promotes upward.
+	memory := mess.NewMemoryCurveStore(4)
+	tiered := mess.NewTieredCurveStore(memory, disk)
+	key := mess.FingerprintCharacterization(req)
+	if _, ok, err := disk.Load(key); !ok || err != nil {
+		t.Fatalf("remote run not persisted server-side: ok=%v err=%v", ok, err)
+	}
+	if got, ok, err := tiered.Load(key); !ok || err != nil || got.Label != "facade" {
+		t.Fatalf("tiered load: %v %v %v", got, ok, err)
+	}
+	if _, ok, _ := memory.Load(key); !ok {
+		t.Fatal("tiered hit not promoted into the memory tier")
+	}
+}

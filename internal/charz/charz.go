@@ -15,6 +15,13 @@
 //     rest block on the in-flight run and share its result;
 //   - an optional on-disk store persists families in the release CSV
 //     format, so repeated CLI invocations skip re-simulation entirely;
+//   - an optional remote tier (a curvestore.Store, typically the HTTP
+//     client for a cmd/messcurved curve server) shares families across
+//     machines: the service consults memory → disk → remote in order,
+//     promotes remote hits into the disk store, and uploads fresh runs —
+//     so a fleet performs each characterization once globally. The remote
+//     tier is fail-soft: a down or broken server reads as a miss and the
+//     characterization proceeds from local tiers, never failing;
 //   - CharacterizeAll fans a batch of requests out over a bounded worker
 //     pool, characterizing distinct platforms concurrently.
 //
@@ -31,6 +38,7 @@ import (
 
 	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/curvestore"
 	"github.com/mess-sim/mess/internal/platform"
 )
 
@@ -45,6 +53,9 @@ const (
 	SourceMemory
 	// SourceDisk: loaded from the on-disk store without simulating.
 	SourceDisk
+	// SourceRemote: fetched from the fleet-shared curve server without
+	// simulating (and promoted into the local disk store, when present).
+	SourceRemote
 )
 
 func (s Source) String() string {
@@ -55,6 +66,8 @@ func (s Source) String() string {
 		return "memory"
 	case SourceDisk:
 		return "disk"
+	case SourceRemote:
+		return "remote"
 	}
 	return fmt.Sprintf("Source(%d)", int(s))
 }
@@ -99,6 +112,13 @@ type Config struct {
 	Workers int
 	// Store, when set, persists families across processes.
 	Store *DiskStore
+	// Remote, when set, shares families across machines — typically a
+	// curvestore.Client pointed at a cmd/messcurved server. It is the
+	// outermost tier: consulted after Store, written back into Store on a
+	// hit (promotion), and uploaded to after a fresh run. All traffic to
+	// it is fail-soft: a down server degrades the service to its local
+	// tiers and never fails a characterization.
+	Remote curvestore.Store
 	// Run overrides the benchmark runner (test seam). Default: bench.Run.
 	Run RunFunc
 }
@@ -112,6 +132,8 @@ type Stats struct {
 	MemoryHits int64
 	// DiskHits counts requests served from the on-disk store.
 	DiskHits int64
+	// RemoteHits counts requests served from the remote curve server.
+	RemoteHits int64
 	// Uncacheable counts requests that bypassed the cache entirely
 	// (custom Backend without a Tag).
 	Uncacheable int64
@@ -121,13 +143,19 @@ type Stats struct {
 // is not usable; construct with New.
 type Service struct {
 	workers int
-	store   *DiskStore
 	run     RunFunc
+
+	// tiered composes the persistent tiers in lookup order (disk, then
+	// remote), with write-back promotion on hit; tierSrc maps a hit's tier
+	// index back to its Source for stats and artifact labelling. nil when
+	// the service is memory-only.
+	tiered  *curvestore.Tiered
+	tierSrc []Source
 
 	mu      sync.Mutex
 	entries map[Key]*entry
 
-	runs, memHits, diskHits, uncacheable atomic.Int64
+	runs, memHits, diskHits, remoteHits, uncacheable atomic.Int64
 }
 
 // entry is one cache slot: done closes when the first requester finishes,
@@ -150,12 +178,24 @@ func New(cfg Config) *Service {
 	if cfg.Run == nil {
 		cfg.Run = bench.Run
 	}
-	return &Service{
+	s := &Service{
 		workers: cfg.Workers,
-		store:   cfg.Store,
 		run:     cfg.Run,
 		entries: map[Key]*entry{},
 	}
+	var tiers []curvestore.Store
+	if cfg.Store != nil {
+		tiers = append(tiers, cfg.Store)
+		s.tierSrc = append(s.tierSrc, SourceDisk)
+	}
+	if cfg.Remote != nil {
+		tiers = append(tiers, cfg.Remote)
+		s.tierSrc = append(s.tierSrc, SourceRemote)
+	}
+	if len(tiers) > 0 {
+		s.tiered = curvestore.NewTiered(tiers...)
+	}
+	return s
 }
 
 // Stats snapshots the service counters.
@@ -164,6 +204,7 @@ func (s *Service) Stats() Stats {
 		Runs:        s.runs.Load(),
 		MemoryHits:  s.memHits.Load(),
 		DiskHits:    s.diskHits.Load(),
+		RemoteHits:  s.remoteHits.Load(),
 		Uncacheable: s.uncacheable.Load(),
 	}
 }
@@ -232,14 +273,22 @@ func (s *Service) Reset() {
 // the outcome by closing done.
 func (s *Service) fill(key Key, e *entry, req Request) {
 	defer close(e.done)
-	if s.store != nil && !req.NeedSamples {
-		fam, ok, err := s.store.Load(key)
-		if err == nil && ok {
-			s.diskHits.Add(1)
-			e.fam, e.src = fam, SourceDisk
+	if s.tiered != nil && !req.NeedSamples {
+		// Disk, then remote, with write-back promotion on a remote hit.
+		// Tier failures (corrupt cache file, down curve server) read as
+		// misses and fall through to simulation — fail-soft.
+		fam, tier, _ := s.tiered.LoadTier(key)
+		if tier >= 0 {
+			src := s.tierSrc[tier]
+			switch src {
+			case SourceDisk:
+				s.diskHits.Add(1)
+			case SourceRemote:
+				s.remoteHits.Add(1)
+			}
+			e.fam, e.src = fam, src
 			return
 		}
-		// A corrupt or unreadable cache file falls through to simulation.
 	}
 	res, err := s.runOnce(req)
 	if err != nil {
@@ -247,10 +296,11 @@ func (s *Service) fill(key Key, e *entry, req Request) {
 		return
 	}
 	e.fam, e.res, e.src = res.Family, res, SourceRun
-	if s.store != nil {
-		// Persistence is best-effort: a read-only cache directory must
-		// not fail the characterization itself.
-		_ = s.store.Save(key, res.Family)
+	if s.tiered != nil {
+		// Persistence is best-effort on every tier: a read-only cache
+		// directory or an unreachable curve server must not fail the
+		// characterization itself.
+		_ = s.tiered.Save(key, res.Family)
 	}
 }
 

@@ -2,12 +2,12 @@ package charz
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
 
 	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/cache"
+	"github.com/mess-sim/mess/internal/curvestore"
 	"github.com/mess-sim/mess/internal/platform"
 )
 
@@ -15,14 +15,10 @@ import (
 // digest over a canonical encoding of the platform spec, the normalized
 // benchmark options and the backend tag. Equal keys mean the simulation
 // would produce bit-identical curve families, so one result can serve every
-// requester — in memory within a process and on disk across processes.
-type Key [sha256.Size]byte
-
-// String renders the key as lowercase hex (the on-disk file stem).
-func (k Key) String() string { return hex.EncodeToString(k[:]) }
-
-// Short returns the first 12 hex digits, for logs and progress lines.
-func (k Key) Short() string { return k.String()[:12] }
+// requester — in memory within a process, on disk across processes, and
+// (via a curve server) across machines. The type lives in curvestore, the
+// storage layer shared by every tier; this alias keeps charz's API stable.
+type Key = curvestore.Key
 
 // Fingerprint computes the request's cache key. The encoding writes every
 // semantically relevant field in a fixed order with explicit field names,

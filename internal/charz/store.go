@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mess-sim/mess/internal/core"
@@ -43,6 +44,8 @@ type DiskStore struct {
 	sizeKnown bool
 	sizeBytes int64 // approximate resident bytes while sizeKnown
 	saves     int   // saves since the last GC pass
+
+	evictions atomic.Int64 // cumulative files evicted by GC
 }
 
 // gcEvery bounds how many saves may elapse between automatic GC passes
@@ -179,15 +182,17 @@ func (d *DiskStore) Save(key Key, fam *core.Family) error {
 // pass when the budget is exceeded (or every gcEvery saves as a backstop).
 func (d *DiskStore) noteSave(written int64) {
 	d.mu.Lock()
+	// Keep the size estimate fresh even with no budget: Size() feeds the
+	// curve server's /v1/stats, which must not report a stale walk.
+	if d.sizeKnown {
+		d.sizeBytes += written
+	}
 	max := d.maxBytes
 	if max <= 0 {
 		d.mu.Unlock()
 		return
 	}
 	d.saves++
-	if d.sizeKnown {
-		d.sizeBytes += written
-	}
 	over := d.sizeKnown && d.sizeBytes > max
 	due := d.saves >= gcEvery || !d.sizeKnown
 	d.mu.Unlock()
@@ -272,8 +277,13 @@ func (d *DiskStore) GC() (evicted int, err error) {
 	d.sizeBytes = total
 	d.saves = 0
 	d.mu.Unlock()
+	d.evictions.Add(int64(evicted))
 	return evicted, err
 }
+
+// Evictions reports the cumulative number of files GC has evicted — the
+// counter the curve server surfaces in /v1/stats.
+func (d *DiskStore) Evictions() int64 { return d.evictions.Load() }
 
 // Size reports the store's current resident bytes (walking the store if no
 // estimate is cached yet).

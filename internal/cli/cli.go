@@ -1,7 +1,7 @@
 // Package cli collects the small pieces every cmd/* binary previously
 // duplicated: fatal-error reporting, platform lookup and scale parsing,
 // and construction of a characterization service from the shared
-// -cache-dir flag convention.
+// -cache-dir / -cache-url flag convention.
 package cli
 
 import (
@@ -10,9 +10,19 @@ import (
 	"path/filepath"
 
 	"github.com/mess-sim/mess/internal/charz"
+	"github.com/mess-sim/mess/internal/curvestore"
 	"github.com/mess-sim/mess/internal/exp"
 	"github.com/mess-sim/mess/internal/platform"
 )
+
+// CurveURLEnv is the environment variable consulted when the -cache-url
+// flag is empty, so a fleet can point every tool at its curve server
+// without touching invocations. (Defined in curvestore; the facade's
+// default service reads the same variable.)
+const CurveURLEnv = curvestore.EnvURL
+
+// CurveURLUsage is the shared help text of the -cache-url flag.
+const CurveURLUsage = "remote curve store base URL, e.g. http://host:9400 (cmd/messcurved; default $" + curvestore.EnvURL + "); fail-soft — a down server falls back to local tiers"
 
 // prog is the invoked binary's base name, used as the error prefix.
 func prog() string {
@@ -69,11 +79,16 @@ func MustScale(name string) exp.Scale {
 }
 
 // Service builds a characterization service honouring the shared
-// -cache-dir / -cache-max-mb flag convention: an empty dir means in-memory
-// only, otherwise curve families persist under dir (sharded by key prefix)
-// and later invocations skip re-simulation. A positive maxMB bounds the
-// store, evicting least-recently-used families.
-func Service(cacheDir string, maxMB int) *charz.Service {
+// -cache-dir / -cache-max-mb / -cache-url flag convention: an empty dir
+// means in-memory only, otherwise curve families persist under dir
+// (sharded by key prefix) and later invocations skip re-simulation. A
+// positive maxMB bounds the store, evicting least-recently-used families.
+// A non-empty cacheURL (or, when it is empty, $MESS_CURVE_URL) adds the
+// fleet-shared remote tier: families are fetched from and uploaded to that
+// curve server, consulted after the local tiers and fully fail-soft. A
+// malformed URL is a configuration error and exits — fail-soft covers the
+// server being down, not a bad flag.
+func Service(cacheDir string, maxMB int, cacheURL string) *charz.Service {
 	var store *charz.DiskStore
 	if cacheDir != "" {
 		var err error
@@ -85,12 +100,23 @@ func Service(cacheDir string, maxMB int) *charz.Service {
 			store.SetMaxBytes(int64(maxMB) << 20)
 		}
 	}
-	return charz.New(charz.Config{Store: store})
+	if cacheURL == "" {
+		cacheURL = os.Getenv(CurveURLEnv)
+	}
+	var remote curvestore.Store
+	if cacheURL != "" {
+		client, err := curvestore.NewClient(cacheURL, curvestore.ClientConfig{})
+		if err != nil {
+			Fatal(err)
+		}
+		remote = client
+	}
+	return charz.New(charz.Config{Store: store, Remote: remote})
 }
 
 // PrintStats writes a one-line cache summary for verbose tool output.
 func PrintStats(s *charz.Service) {
 	st := s.Stats()
-	fmt.Printf("characterizations: %d simulated, %d memory hits, %d disk hits\n",
-		st.Runs, st.MemoryHits, st.DiskHits)
+	fmt.Printf("characterizations: %d simulated, %d memory hits, %d disk hits, %d remote hits\n",
+		st.Runs, st.MemoryHits, st.DiskHits, st.RemoteHits)
 }

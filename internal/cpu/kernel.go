@@ -109,8 +109,13 @@ type KernelCore struct {
 
 	running  bool
 	stepOpen bool // a line-step is in progress (guards re-entrant wake-ups)
-	nextAt   sim.Time
-	wake     *sim.Timer // pacing alarm: re-armed in place, never re-allocated
+	// depReturned records that the open step's dependent load completed,
+	// so an OnFree-driven drain of trailing ops knows it may retire the
+	// step (without it, a step whose stores stalled after the load
+	// returned would never complete).
+	depReturned bool
+	nextAt      sim.Time
+	wake        *sim.Timer // pacing alarm: re-armed in place, never re-allocated
 
 	// Completion callbacks, allocated once and passed to the port for
 	// every operation: issuing a line-step captures nothing.
@@ -227,6 +232,7 @@ func (c *KernelCore) beginStep() {
 	}
 	k := &c.kernel
 	c.stepOpen = true
+	c.depReturned = false
 	for a := 0; a < k.Loads; a++ {
 		c.pendingOps = append(c.pendingOps, pendingOp{arr: a})
 	}
@@ -266,7 +272,10 @@ func (c *KernelCore) tryIssue() {
 			return // completeStep continues from the load callback
 		}
 	}
-	if !c.kernel.Dependent {
+	// A dependent step may drain its trailing ops here (an OnFree wake-up
+	// after the load already returned): it retires now, not in the load
+	// callback that has long since fired.
+	if !c.kernel.Dependent || c.depReturned {
 		c.completeStep()
 	}
 }
@@ -283,13 +292,36 @@ func (c *KernelCore) canIssue(op pendingOp) bool {
 }
 
 // issue hands one operation to the port. On-chip completions come back as
-// a timestamp instead of a port-scheduled event; the core re-arms its own
-// stored callback for them (its pacing and IPC accounting read engine
-// time, so the delivery instant must be preserved — the event count and
-// order are identical to the port-side scheduling this replaces).
+// a timestamp, which the core carries as a *virtual completion time*
+// instead of scheduling its stored callback at ackAt:
+//
+//   - A non-dependent op needs no resume at ackAt at all. The only thing a
+//     resume could do is un-stall the step, and every false→true
+//     transition of canIssue happens inside an MSHR/write-buffer release —
+//     which already invokes the port's OnFree hook and re-enters tryIssue.
+//     The old scheduled wake-up always fired as a no-op; dropping it
+//     removes one event per on-chip hit with identical behaviour.
+//
+//   - A dependent load that is the last op of its step completes the step
+//     virtually: the IPC/step accounting is stamped with ackAt now, and
+//     the pacing timer is armed at the instant the next step would have
+//     begun (max of the pacing deadline and ackAt). The next step's port
+//     traffic therefore still issues at exactly the old engine time; only
+//     the intermediate completion hop at ackAt disappears whenever the
+//     pacing deadline lies beyond it. (When the wake shares a deadline
+//     with another component's event, its schedule order can shift
+//     relative to the old arm-at-completion — an accepted model-level
+//     tie-break; the fig2 determinism gate, which exercises the
+//     chaser/generator cores, is unaffected.)
+//
+//   - A dependent load with trailing ops still schedules the stored
+//     callback: those ops must reach the port at ackAt, not now. No
+//     standard kernel has dependent loads followed by stores, so this
+//     fallback is essentially dormant.
 func (c *KernelCore) issue(op pendingOp) {
 	addr := c.addrFor(op.arr)
 	done := c.resumeFn
+	dep := false
 	var at sim.Time
 	var onChip bool
 	switch {
@@ -299,13 +331,35 @@ func (c *KernelCore) issue(op pendingOp) {
 		at, onChip = c.port.Store(addr, done)
 	case c.kernel.Dependent:
 		done = c.depDoneFn
+		dep = true
 		at, onChip = c.port.Load(addr, done)
 	default:
 		at, onChip = c.port.Load(addr, done)
 	}
-	if onChip {
-		c.eng.ScheduleTimed(at, done)
+	if !onChip || !dep {
+		return // off-chip: the port delivers; on-chip non-dependent: no-op
 	}
+	if len(c.pendingOps) > 0 {
+		c.eng.ScheduleTimed(at, done)
+		return
+	}
+	c.virtualStepComplete(at)
+}
+
+// virtualStepComplete retires a step whose closing dependent load hit on
+// chip, without an event at the completion instant: the accounting is
+// stamped with the virtual completion time at, and the wake timer carries
+// execution to where the old completion callback would have resumed it.
+func (c *KernelCore) virtualStepComplete(at sim.Time) {
+	if !c.running || !c.stepOpen {
+		return
+	}
+	c.stepOpen = false
+	c.instret += c.kernel.InstrPerStep()
+	c.steps++
+	c.lineIdx++
+	c.lastAt = at
+	c.wake.Arm(maxT(c.nextAt, at))
 }
 
 // dependentLoadDone resumes a serialized kernel once its load returns.
@@ -313,11 +367,12 @@ func (c *KernelCore) dependentLoadDone(at sim.Time) {
 	if !c.running || !c.stepOpen {
 		return
 	}
+	c.depReturned = true
 	if len(c.pendingOps) > 0 {
+		// tryIssue retires the step itself once the trailing ops drain —
+		// immediately, or from a later OnFree wake-up if they stall.
 		c.tryIssue()
-		if len(c.pendingOps) > 0 {
-			return
-		}
+		return
 	}
 	c.completeStep()
 }

@@ -54,7 +54,12 @@
 // requests for one key run one simulation), optionally persists families
 // to disk in the release CSV format (sharded by key prefix, with optional
 // size-bounded LRU eviction), and fans batches out over a bounded worker
-// pool. Package-level Characterize and RunExperiment share one
+// pool. A further remote tier (NewRemoteCurveStore, or $MESS_CURVE_URL)
+// shares families fleet-wide through a cmd/messcurved curve server —
+// consulted after the local tiers, promoted into them on hit, uploaded to
+// after a fresh run, and entirely fail-soft: a down server degrades to
+// local operation, never to an error. Package-level Characterize and
+// RunExperiment share one
 // default in-process service, so repeated calls — and a full experiment
 // registry run — perform each unique characterization exactly once;
 // RunExperimentWith threads a caller-owned service (e.g. one backed by an
@@ -63,10 +68,12 @@ package mess
 
 import (
 	"io"
+	"os"
 
 	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/curvestore"
 	"github.com/mess-sim/mess/internal/cxl"
 	"github.com/mess-sim/mess/internal/exp"
 	"github.com/mess-sim/mess/internal/mem"
@@ -153,6 +160,22 @@ type (
 	// CurveStore persists curve families under a cache directory in the
 	// release CSV format.
 	CurveStore = charz.DiskStore
+	// CurveStoreTier is the storage interface every curve tier implements
+	// (disk, memory, tiered composition, remote client), so custom tiers
+	// can back a CharacterizationConfig.Remote or a curve server.
+	CurveStoreTier = curvestore.Store
+	// MemoryCurveStore is a bounded in-memory LRU curve tier.
+	MemoryCurveStore = curvestore.Memory
+	// TieredCurveStore composes curve tiers in lookup order (canonically
+	// memory → disk → remote) with fail-soft misses and write-back
+	// promotion on hit.
+	TieredCurveStore = curvestore.Tiered
+	// RemoteCurveStore is the HTTP client tier for a messcurved curve
+	// server: content-addressed GET/PUT with gzip bodies, ETag
+	// revalidation, bounded retries and a fail-soft cooldown circuit.
+	RemoteCurveStore = curvestore.Client
+	// RemoteCurveStoreConfig parameterizes a RemoteCurveStore.
+	RemoteCurveStoreConfig = curvestore.ClientConfig
 )
 
 // Characterization sources.
@@ -160,6 +183,7 @@ const (
 	FromRun    = charz.SourceRun
 	FromMemory = charz.SourceMemory
 	FromDisk   = charz.SourceDisk
+	FromRemote = charz.SourceRemote
 )
 
 // NewCharacterizationService builds a service.
@@ -170,6 +194,27 @@ func NewCharacterizationService(cfg CharacterizationConfig) *CharacterizationSer
 // NewCurveStore opens (creating if needed) an on-disk curve cache.
 func NewCurveStore(dir string) (*CurveStore, error) { return charz.NewDiskStore(dir) }
 
+// NewMemoryCurveStore builds an in-memory curve tier holding at most
+// maxEntries families (<= 0 means unbounded).
+func NewMemoryCurveStore(maxEntries int) *MemoryCurveStore {
+	return curvestore.NewMemory(maxEntries)
+}
+
+// NewTieredCurveStore composes curve tiers in lookup order; nil tiers are
+// dropped.
+func NewTieredCurveStore(tiers ...CurveStoreTier) *TieredCurveStore {
+	return curvestore.NewTiered(tiers...)
+}
+
+// NewRemoteCurveStore builds the HTTP client tier for the curve server at
+// baseURL (a cmd/messcurved instance), with default retry/cooldown
+// behaviour. Use it as a CharacterizationConfig.Remote: the service then
+// fetches families from — and uploads fresh runs to — the fleet-shared
+// store, falling back to local tiers when the server is unreachable.
+func NewRemoteCurveStore(baseURL string) (*RemoteCurveStore, error) {
+	return curvestore.NewClient(baseURL, curvestore.ClientConfig{})
+}
+
 // FingerprintCharacterization computes a request's content-addressed key.
 func FingerprintCharacterization(req CharacterizationRequest) CharacterizationKey {
 	return charz.Fingerprint(req)
@@ -177,8 +222,23 @@ func FingerprintCharacterization(req CharacterizationRequest) CharacterizationKe
 
 // defaultCharz backs the package-level Characterize and RunExperiment:
 // one in-process cache shared by every caller that does not bring its own
-// service.
-var defaultCharz = charz.New(charz.Config{})
+// service. When MESS_CURVE_URL names a curve server, the default service
+// joins the fleet-shared store exactly like the CLI tools do — fail-soft,
+// so an unreachable (or misconfigured) server leaves the service purely
+// in-memory rather than failing.
+var defaultCharz = newDefaultCharz()
+
+func newDefaultCharz() *charz.Service {
+	cfg := charz.Config{}
+	if u := os.Getenv(curvestore.EnvURL); u != "" {
+		// A malformed URL is silently skipped here (package init cannot
+		// error); the CLI tools, which own a flag, fail loudly instead.
+		if client, err := curvestore.NewClient(u, curvestore.ClientConfig{}); err == nil {
+			cfg.Remote = client
+		}
+	}
+	return charz.New(cfg)
+}
 
 // DefaultCharacterizationService returns the process-wide service used by
 // Characterize and RunExperiment. Long-lived processes characterizing
