@@ -15,7 +15,13 @@
 //     artifact: allocs_per_op on these rows must stay ≈ 0);
 //   - the framework: wall-clock of a Quick-scale characterization and of
 //     the fig2 experiment (full benchmark sweeps on fresh services, no
-//     caches).
+//     caches), plus the sharded counterparts of the DRAM closed loop, the
+//     fig2 sweep and a single fully-loaded sweep point — the same
+//     simulations on per-channel shard engines advanced concurrently
+//     (byte-identical results; the rows track the wall-clock win). Sharded
+//     rows record the gomaxprocs they ran at, since their numbers are
+//     meaningless without it. -shards picks the engine count (0 = auto:
+//     GOMAXPROCS capped at channels+1; 1 = disable the sharded rows).
 //
 // With -best-of N, every measurement is taken N times and only the best
 // sample (highest events/sec; lowest wall-clock for wall-only rows) is
@@ -52,13 +58,17 @@ import (
 	"time"
 
 	"github.com/mess-sim/mess"
+	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/cli"
+	"github.com/mess-sim/mess/internal/dram"
 	"github.com/mess-sim/mess/internal/perfload"
 )
 
 // Schema identifies the BENCH_sim.json format. v2 added allocs_per_op to
-// every op-counted result.
-const Schema = "mess-perf/v2"
+// every op-counted result; v3 added the sharded-execution rows
+// (model/dram_sharded, framework/fig2_quick_sharded, framework/fig2_point,
+// framework/fig2_point_sharded) and per-result gomaxprocs.
+const Schema = "mess-perf/v3"
 
 // Result is one measured quantity of the suite. AllocsPerOp follows the
 // `go test -benchmem` convention (total mallocs / ops, truncated): the
@@ -66,13 +76,16 @@ const Schema = "mess-perf/v2"
 // the raw count so sub-integer drift (pool warmup, wheel-bucket growth)
 // stays visible in the trajectory.
 type Result struct {
-	Name         string `json:"name"`
+	Name         string  `json:"name"`
 	NsPerOp      float64 `json:"ns_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	AllocsPerOp  *int64  `json:"allocs_per_op,omitempty"` // nil for wall-clock-only rows
 	Mallocs      uint64  `json:"mallocs,omitempty"`
 	WallMs       float64 `json:"wall_ms"`
 	Ops          int     `json:"ops"`
+	// GOMAXPROCS is set on rows whose wall-clock depends on host
+	// parallelism (the sharded-execution rows); zero elsewhere.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // Report is the BENCH_sim.json schema.
@@ -201,8 +214,25 @@ func main() {
 		gateDrop     = flag.Float64("gate-drop", 0.30, "maximum tolerated fractional events/sec drop per kernel benchmark")
 		gatePrev     = flag.String("gate-prev", "", "additional baseline (the previous CI run's artifact) gated at -gate-prev-drop")
 		gatePrevDrop = flag.Float64("gate-prev-drop", 0.10, "maximum tolerated fractional events/sec drop vs -gate-prev")
+		shardsFlag   = flag.Int("shards", 0, "engines for the sharded rows (0 = auto: GOMAXPROCS capped at channels+1; 1 = skip sharded rows)")
 	)
 	flag.Parse()
+
+	// shardsFor resolves the shard count for a platform with the given
+	// channel count; below 2 the sharded rows are skipped.
+	shardsFor := func(channels int) int {
+		n := *shardsFlag
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if m := channels + 1; n > m {
+			n = m
+		}
+		if n < 2 {
+			return 0
+		}
+		return n
+	}
 
 	if *bestOfN < 1 {
 		*bestOfN = 1
@@ -277,6 +307,30 @@ func main() {
 	modelBest("model/dram_random", perfload.PatternRandom, mkReference)
 	modelBest("model/dram_mixed", perfload.PatternMixed, mkReference)
 
+	// The sharded counterpart of model/dram_reference: the same detailed
+	// DRAM system with channels spread over concurrently advancing shard
+	// engines, driven through the timed hand-off (the cross-shard hop is
+	// the home shard's lookahead). Results are byte-identical to the
+	// single-engine row; the measurement is the wall-clock win.
+	if full := mess.Skylake(); shardsFor(full.DRAM.Channels) >= 2 {
+		n := shardsFor(full.DRAM.Channels)
+		hop := full.CacheConfig().OnChipLatency / 2
+		add(best(func() Result {
+			group := mess.NewShardGroup(n)
+			defer group.Close()
+			backend := dram.NewSharded(group, full.DRAM, 0)
+			drv := perfload.NewShardedClosedLoop(group, backend, hop, perfload.PatternReference)
+			warm := *modelEvents / 4
+			if warm > 50_000 {
+				warm = 50_000
+			}
+			drv.Run(warm)
+			r := measure("model/dram_sharded", *modelEvents, func() { drv.Run(*modelEvents) })
+			r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+			return r
+		}))
+	}
+
 	// The Mess analytical simulator needs a curve family; its production is
 	// itself the framework-level measurement (a Quick characterization on a
 	// fresh service = the full sweep, uncached).
@@ -306,6 +360,51 @@ func main() {
 					cli.Fatal(err)
 				}
 			})
+		}))
+		// Quick-scaled Skylake characterizes 3 channels; the sharded sweep
+		// runs the same 22 jobs with each measurement point sharded. The
+		// sweep-level win is bounded by the home shard (cores and cache
+		// stay serial), so the single-point rows below are the headline
+		// speedup numbers.
+		if n := shardsFor(3); n >= 2 {
+			add(best(func() Result {
+				r := measure("framework/fig2_quick_sharded", 0, func() {
+					svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+					if _, err := mess.RunExperimentSharded(svc, "fig2", mess.ScaleQuick, n); err != nil {
+						cli.Fatal(err)
+					}
+				})
+				r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+				return r
+			}))
+		}
+	}
+
+	// One fully-loaded fig2 sweep point (all generators unpaced, 0% stores)
+	// on the Quick-scaled Skylake, unsharded vs sharded — the cleanest A/B
+	// of the sharded engine's single-point wall-clock.
+	point := mess.Skylake()
+	point.Cores = 12
+	point.DRAM.Channels = 3
+	popt := mess.QuickBenchmarkOptions()
+	add(best(func() Result {
+		return measure("framework/fig2_point", 0, func() {
+			if _, err := bench.MeasurePoint(point, popt, bench.Mix{}, 0); err != nil {
+				cli.Fatal(err)
+			}
+		})
+	}))
+	if n := shardsFor(point.DRAM.Channels); n >= 2 {
+		sopt := popt
+		sopt.Shards = n
+		add(best(func() Result {
+			r := measure("framework/fig2_point_sharded", 0, func() {
+				if _, err := bench.MeasurePoint(point, sopt, bench.Mix{}, 0); err != nil {
+					cli.Fatal(err)
+				}
+			})
+			r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+			return r
 		}))
 	}
 

@@ -67,6 +67,19 @@ type Options struct {
 	// Cache overrides the platform's derived cache configuration — used
 	// for failure injection (e.g. the OpenPiton clean-eviction bug).
 	Cache *cache.Config
+	// Shards, when at least 2, runs each measurement point on a
+	// conservative time-window shard group of that many engines instead of
+	// one: the DRAM channels advance concurrently on shards 1..Shards-1
+	// while the cores and cache stay on shard 0, cutting single-point
+	// wall-clock on multi-channel platforms. Results are byte-identical to
+	// the single-engine path (the fig2 determinism test enforces it), so
+	// Shards is execution-only and cleared by Normalized. Silently ignored
+	// when a point cannot shard: a custom Backend owns its own engine
+	// placement, and a zero on-chip hop leaves the home shard no lookahead.
+	Shards int
+	// NoShard forces the single-engine path even when Shards asks for
+	// sharding — the A/B knob of the sharding determinism tests.
+	NoShard bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -93,6 +106,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Parallelism == 0 {
 		out.Parallelism = runtime.GOMAXPROCS(0)
+		if out.Shards > 1 {
+			// Sharded points each occupy Shards goroutines; dividing the
+			// point-level parallelism keeps the two levels multiplying out
+			// to the machine instead of oversubscribing its spin barriers.
+			out.Parallelism = runtime.GOMAXPROCS(0) / out.Shards
+			if out.Parallelism < 1 {
+				out.Parallelism = 1
+			}
+		}
 	}
 	return out
 }
@@ -108,6 +130,11 @@ func (o Options) Normalized() Options {
 	out := o.withDefaults()
 	out.Parallelism = 0
 	out.Backend = nil
+	// Sharding is an execution strategy: a sharded and an unsharded run of
+	// the same sweep produce byte-identical families (the determinism test
+	// enforces it), so both may share one cache entry.
+	out.Shards = 0
+	out.NoShard = false
 	return out
 }
 
@@ -166,20 +193,39 @@ func Run(spec platform.Spec, opt Options) (*Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	shards := o.shardCount(spec)
 	feed := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := sim.New() // reused across every point this worker runs
+			// Each worker owns its engines for the whole sweep and Resets
+			// them between points: one engine on the single-engine path, a
+			// shard group (home engine + channel shards, with their worker
+			// goroutines parked between windows) on the sharded one.
+			var (
+				eng   *sim.Engine
+				group *sim.ShardGroup
+			)
+			if shards > 1 {
+				group = sim.NewShardGroup(shards)
+				defer group.Close()
+				eng = group.Engine(0)
+			} else {
+				eng = sim.New()
+			}
 			for ji := range feed {
-				eng.Reset()
+				if group != nil {
+					group.Reset()
+				} else {
+					eng.Reset()
+				}
 				j := jobs[ji]
 				if j.mixIdx < 0 {
-					samples[ji], errs[ji] = measureWith(eng, spec, o, Mix{}, 0, 0)
+					samples[ji], errs[ji] = measureWith(eng, group, spec, o, Mix{}, 0, 0)
 				} else {
-					samples[ji], errs[ji] = measureWith(eng, spec, o, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx], spec.Cores-1)
+					samples[ji], errs[ji] = measureWith(eng, group, spec, o, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx], spec.Cores-1)
 				}
 			}
 		}()
@@ -199,24 +245,71 @@ func Run(spec platform.Spec, opt Options) (*Result, error) {
 	return &Result{Spec: spec, Family: fam, Samples: samples[1:]}, nil
 }
 
+// MeasurePoint simulates one fully-loaded sweep point on its own engine (or
+// shard group, when the options ask for one) and reports its sample — the
+// interactive "explore this configuration now" case whose wall-clock the
+// sharded engine targets. Generators occupy every core but the chaser's.
+func MeasurePoint(spec platform.Spec, opt Options, mix Mix, paceNs float64) (Sample, error) {
+	o := opt.withDefaults()
+	if shards := o.shardCount(spec); shards > 1 {
+		group := sim.NewShardGroup(shards)
+		defer group.Close()
+		return measureWith(group.Engine(0), group, spec, o, mix, paceNs, spec.Cores-1)
+	}
+	return measureWith(sim.New(), nil, spec, o, mix, paceNs, spec.Cores-1)
+}
+
 // MeasureUnloaded runs only the pointer chase and reports the unloaded
 // load-to-use latency — the LMbench/multichase validation measurement.
 func MeasureUnloaded(spec platform.Spec, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	s, err := measureWith(sim.New(), spec, o, Mix{}, 0, 0) // zero generators
+	s, err := measureWith(sim.New(), nil, spec, o, Mix{}, 0, 0) // zero generators
 	if err != nil {
 		return 0, err
 	}
 	return s.LatNs, nil
 }
 
+// shardCount resolves the effective per-point shard-group size: 1 on the
+// single-engine path. Sharding needs the detailed DRAM backend (a custom
+// Backend factory owns its own engine placement), a positive outbound
+// on-chip hop (it becomes the home shard's lookahead), and never more
+// channel shards than the platform has channels.
+func (o *Options) shardCount(spec platform.Spec) int {
+	if o.Shards < 2 || o.NoShard || o.Backend != nil {
+		return 1
+	}
+	ccfg := spec.CacheConfig()
+	if o.Cache != nil {
+		ccfg = *o.Cache
+	}
+	if ccfg.OnChipLatency/2 < 1 {
+		return 1
+	}
+	n := o.Shards
+	if m := spec.DRAM.Channels + 1; n > m {
+		n = m
+	}
+	if n < 2 {
+		return 1
+	}
+	return n
+}
+
 // measureWith simulates one sweep point on the given engine, which must be
-// fresh or Reset.
-func measureWith(eng *sim.Engine, spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
+// fresh or Reset. A non-nil group (whose home engine eng must be) runs the
+// point sharded: the DRAM channels advance on the group's other shards,
+// and the warmup/measure windows are driven through the group's
+// conservative window barrier, whose quiescent boundaries make the counter
+// snapshots read exactly the state the single-engine run would see.
+func measureWith(eng *sim.Engine, group *sim.ShardGroup, spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
 	var backend mem.Backend
-	if o.Backend != nil {
+	switch {
+	case o.Backend != nil:
 		backend = o.Backend(eng)
-	} else {
+	case group != nil:
+		backend = dram.NewSharded(group, spec.DRAM, 0)
+	default:
 		backend = dram.New(eng, spec.DRAM)
 	}
 	counting := mem.NewCounting(backend)
@@ -225,6 +318,11 @@ func measureWith(eng *sim.Engine, spec platform.Spec, o Options, mix Mix, paceNs
 		ccfg = *o.Cache
 	}
 	hier := cache.New(eng, ccfg, counting)
+	if group != nil {
+		// The cache's outbound hop is the minimum flight time of every
+		// home→channel delivery, i.e. the home shard's lookahead.
+		group.SetLookahead(0, hier.Config().OnChipLatency/2)
+	}
 
 	// Pointer chaser on core 0, in its own address region.
 	const chaseBase = 1 << 40
@@ -249,8 +347,14 @@ func measureWith(eng *sim.Engine, spec platform.Spec, o Options, mix Mix, paceNs
 		gens = append(gens, gen)
 	}
 
-	// Warm up, then measure over a counter delta.
-	eng.RunUntil(o.Warmup)
+	// Warm up, then measure over a counter delta. The sharded path drives
+	// the whole group; its engines are all quiescent at the target time
+	// when RunUntil returns, so the snapshots below are barrier-ordered.
+	runUntil := eng.RunUntil
+	if group != nil {
+		runUntil = group.RunUntil
+	}
+	runUntil(o.Warmup)
 	chaser.ResetStats()
 	c0 := counting.Snapshot()
 	var rs0 dram.RowStats
@@ -260,7 +364,7 @@ func measureWith(eng *sim.Engine, spec platform.Spec, o Options, mix Mix, paceNs
 	}
 	t0 := eng.Now()
 
-	eng.RunUntil(o.Warmup + o.Measure)
+	runUntil(o.Warmup + o.Measure)
 	c1 := counting.Snapshot()
 	t1 := eng.Now()
 	lat, n := chaser.MeanLatency()

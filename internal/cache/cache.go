@@ -101,6 +101,7 @@ type Hierarchy struct {
 	eng     *sim.Engine
 	cfg     Config
 	backend mem.Backend
+	timed   mem.TimedBackend // backend's AccessAt form; nil when untimed
 	pool    *mem.RequestPool
 	rng     uint64
 }
@@ -111,7 +112,9 @@ func New(eng *sim.Engine, cfg Config, backend mem.Backend) *Hierarchy {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Hierarchy{eng: eng, cfg: cfg, backend: backend, pool: mem.NewRequestPool(), rng: cfg.Seed}
+	h := &Hierarchy{eng: eng, cfg: cfg, backend: backend, pool: mem.NewRequestPool(), rng: cfg.Seed}
+	h.timed, _ = mem.Timed(backend)
+	return h
 }
 
 // Config reports the hierarchy configuration (after defaulting).
@@ -323,6 +326,13 @@ func (p *Port) request(addr uint64, op mem.Op, done mem.DoneFunc, user func(at s
 	if outbound == 0 {
 		req.Issued = p.h.eng.Now()
 		p.h.backend.Access(req)
+		return
+	}
+	// A timed backend routes the hop itself — the seam that lets a sharded
+	// DRAM system land the delivery on the owning channel's shard. The
+	// outbound hop doubles as the home shard's cross-shard lookahead.
+	if p.h.timed != nil {
+		p.h.timed.AccessAt(req, p.h.eng.Now()+outbound)
 		return
 	}
 	req.SendAt(p.h.eng, p.h.backend, p.h.eng.Now()+outbound)

@@ -32,7 +32,11 @@ type Key = curvestore.Key
 // identity must instead be carried by Request.Tag.
 func Fingerprint(req Request) Key {
 	h := sha256.New()
-	fmt.Fprintf(h, "charz/v1\ntag=%q\nhasBackend=%t\n", req.Tag, req.Options.Backend != nil)
+	// v2: measurement semantics changed — cores hand requests to the
+	// memory system at the send instant (timed hand-off, counted at send)
+	// and equal-instant event ties order by entity tag — so v1 curves in
+	// shared stores must not satisfy v2 requests.
+	fmt.Fprintf(h, "charz/v2\ntag=%q\nhasBackend=%t\n", req.Tag, req.Options.Backend != nil)
 	writeSpec(h, req.Spec)
 	writeOptions(h, req.Options.Normalized())
 	var k Key

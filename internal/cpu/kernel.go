@@ -154,7 +154,21 @@ func NewKernelCore(eng *sim.Engine, port *cache.Port, k Kernel, cfg CoreConfig) 
 		lines:  cfg.ArrayBytes / mem.LineSize,
 		rng:    cfg.Seed,
 	}
-	c.wake = eng.NewTimer(c.beginStep)
+	// The wake timer serves double duty, disambiguated by step state: with
+	// no step open it is the pacing alarm (begin the next step); with a
+	// step open it can only be the deferred on-chip delivery of the step's
+	// dependent load (issue arms it at ackAt), since the pacing arm always
+	// happens after the step closes. Folding both onto one timer keeps the
+	// dependent-load-with-trailing-ops path on the pooled fixed-callback
+	// event instead of a scheduled one — identical (at, seq) arrival, as
+	// the timer is always disarmed while a step is open.
+	c.wake = eng.NewTimer(func() {
+		if c.stepOpen {
+			c.dependentLoadDone(c.eng.Now())
+			return
+		}
+		c.beginStep()
+	})
 	c.resumeFn = func(sim.Time) { c.tryIssue() }
 	c.depDoneFn = c.dependentLoadDone
 	return c
@@ -314,10 +328,12 @@ func (c *KernelCore) canIssue(op pendingOp) bool {
 //     tie-break; the fig2 determinism gate, which exercises the
 //     chaser/generator cores, is unaffected.)
 //
-//   - A dependent load with trailing ops still schedules the stored
-//     callback: those ops must reach the port at ackAt, not now. No
-//     standard kernel has dependent loads followed by stores, so this
-//     fallback is essentially dormant.
+//   - A dependent load with trailing ops arms the wake timer at ackAt:
+//     those ops must reach the port at ackAt, not now, and the timer —
+//     always disarmed while a step is open — delivers dependentLoadDone
+//     there without scheduling a fresh callback. No standard kernel has
+//     dependent loads followed by stores, so this path is essentially
+//     dormant.
 func (c *KernelCore) issue(op pendingOp) {
 	addr := c.addrFor(op.arr)
 	done := c.resumeFn
@@ -340,7 +356,7 @@ func (c *KernelCore) issue(op pendingOp) {
 		return // off-chip: the port delivers; on-chip non-dependent: no-op
 	}
 	if len(c.pendingOps) > 0 {
-		c.eng.ScheduleTimed(at, done)
+		c.wake.Arm(at)
 		return
 	}
 	c.virtualStepComplete(at)

@@ -32,7 +32,7 @@ func TestParseKey(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"", "ab", k.String()[:63], k.String() + "0",
-		"G" + k.String()[1:], // non-hex
+		"G" + k.String()[1:],  // non-hex
 		"AB" + k.String()[2:], // uppercase is non-canonical
 	} {
 		if _, err := ParseKey(bad); err == nil {

@@ -166,6 +166,39 @@ func (c *channel) compactRing(dir int) {
 	}
 }
 
+// handleRing is a growable power-of-two ring of event handles, the
+// completion-tracking analogue of reqRing.
+type handleRing struct {
+	buf  []sim.Handle
+	head int
+	n    int
+}
+
+func (r *handleRing) push(h sim.Handle) {
+	if r.n == len(r.buf) {
+		nc := 2 * len(r.buf)
+		if nc == 0 {
+			nc = 16
+		}
+		nb := make([]sim.Handle, nc)
+		mask := len(r.buf) - 1
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&mask]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = h
+	r.n++
+}
+
+func (r *handleRing) peek() sim.Handle { return r.buf[r.head] }
+
+func (r *handleRing) pop() {
+	r.buf[r.head] = sim.Handle{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
 // bankList is the FIFO of pending requests of one (bank, direction),
 // threaded through the slot store, plus the incremental row-match state:
 // match is the oldest pending request whose row equals the bank's open row
@@ -234,6 +267,26 @@ type channel struct {
 	decideAt      sim.Time
 	decideFn      func() // stored once: kick schedules it without a fresh closure
 
+	// compRing retains handles to the channel's own scheduled completion
+	// events, one ring per direction (each is monotonic in deadline: burst
+	// ends strictly increase, and read completions add a constant on top).
+	// The decide loop uses them to recognise when the event blocking fusion
+	// is one of its own completions and fire it inline via StepIf. Handles
+	// whose events the engine already served are pruned lazily on push.
+	compRing [dirCount]handleRing
+
+	// complete, when set, replaces CompleteAtTagged as the completion
+	// path: the sharded system installs a hook that transmits the
+	// request's prebuilt fire closure back to its home shard, so Done and
+	// the pool release always run on the pool's own goroutine.
+	complete func(req *mem.Request, at sim.Time)
+
+	// tag is the channel's entity tag (global channel index + 1): every
+	// event the channel schedules — decides and completions — carries it,
+	// so equal-instant ties against other channels and against untagged
+	// home events resolve by tag, identically sharded or not.
+	tag int32
+
 	counters mem.Counters
 	rowStats RowStats
 
@@ -253,6 +306,7 @@ func newChannel(eng *sim.Engine, cfg *Config, chIdx int) *channel {
 		refOffset: make([]sim.Time, cfg.Ranks),
 		refNext:   make([]sim.Time, cfg.Ranks),
 		freeHead:  -1,
+		tag:       int32(chIdx) + 1,
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -477,7 +531,7 @@ func (c *channel) kick() {
 	}
 	c.decidePending = true
 	c.decideAt = at
-	c.eng.Schedule(at, c.decideFn)
+	c.eng.ScheduleTagged(at, c.tag, c.decideFn)
 }
 
 func (c *channel) decideTime() sim.Time {
@@ -497,6 +551,18 @@ func (c *channel) decideTime() sim.Time {
 // event fired anyway, so the loop advances the clock (RunUntil fires
 // nothing) and decides inline: the command sequence, timing and statistics
 // are identical by construction, with the scheduler hops removed.
+//
+// Under a saturated read ladder the fusion check usually fails on one of
+// the channel's *own* completions (each burst schedules one, landing a
+// CtrlLatency behind the decides chasing the bus). Completion batching
+// reclaims those decides: the loop pre-claims the decide event it was
+// about to schedule — consuming the same sequence number the unfused path
+// would, so every later tie breaks identically — then fires its own
+// blocking completions inline through StepIf (which refuses unless the
+// completion is exactly the engine's head). If the path to the decide time
+// clears, the claimed event is cancelled and the loop continues inline;
+// if a foreign event still intervenes, the claimed event simply is the
+// scheduled decide and the loop yields, exactly as without batching.
 func (c *channel) decideLoop() {
 	for {
 		if !c.decideOnce() {
@@ -510,7 +576,8 @@ func (c *channel) decideLoop() {
 			c.scheduleDecide(at)
 			return
 		}
-		if bound, ok := c.eng.RunBound(); ok && at > bound {
+		bound, bok := c.eng.RunBound()
+		if bok && at > bound {
 			// The decide falls beyond the driving RunUntil's target: it
 			// must stay queued, exactly as its event would, so counters
 			// sampled at the boundary see identical state.
@@ -518,19 +585,62 @@ func (c *channel) decideLoop() {
 			return
 		}
 		if nd, ok := c.eng.NextDeadline(); ok && nd <= at {
-			// Another event (a completion, another channel, an equal-time
-			// earlier-scheduled decide) precedes ours: fusion would reorder.
-			c.scheduleDecide(at)
-			return
+			// Another event precedes our decide: fusion alone would reorder.
+			if c.cfg.NoCompBatch || !bok {
+				c.scheduleDecide(at)
+				return
+			}
+			// Claim the decide event first: completions fired below see the
+			// same pending-decide state (and engine sequence numbering) the
+			// unfused schedule would have produced.
+			dh := c.eng.ScheduleTagged(at, c.tag, c.decideFn)
+			c.decidePending, c.decideAt = true, at
+			cleared := false
+			for c.fireOwnCompletion() {
+				if nd, ok = c.eng.NextDeadline(); !ok || nd > at {
+					cleared = true
+					break
+				}
+			}
+			if !cleared {
+				// A foreign event (another channel, a core wake) is still in
+				// the way: the claimed event stays as the scheduled decide.
+				return
+			}
+			dh.Cancel()
+			c.decidePending = false
 		}
 		c.eng.RunUntil(at) // nothing fires: every pending deadline is later
 	}
 }
 
+// fireOwnCompletion fires the engine's next event inline if it is one of
+// this channel's scheduled completions, reporting whether it did. Handles
+// to completions the engine already served prune off the ring heads here
+// and on push.
+func (c *channel) fireOwnCompletion() bool {
+	for dir := 0; dir < dirCount; dir++ {
+		r := &c.compRing[dir]
+		for r.n > 0 {
+			h := r.peek()
+			if !h.Pending() {
+				r.pop()
+				continue
+			}
+			if c.eng.StepIf(h) {
+				r.pop()
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
 func (c *channel) scheduleDecide(at sim.Time) {
 	c.decidePending = true
 	c.decideAt = at
-	c.eng.Schedule(at, c.decideFn)
+	c.eng.ScheduleTagged(at, c.tag, c.decideFn)
 }
 
 // decideOnce picks the next request (FR-FCFS within the active direction)
@@ -862,13 +972,36 @@ func (c *channel) issue(idx int32, isWrite bool) {
 	if isWrite {
 		// Posted write: completion (= write-queue acceptance upstream,
 		// drain here) releases the pooled record at the burst end.
-		req.CompleteAt(c.eng, dataEnd)
+		if c.complete != nil {
+			c.complete(req, dataEnd)
+			return
+		}
+		c.pushComp(dirWrite, req.CompleteAtTagged(c.eng, dataEnd, c.tag))
 		return
 	}
 	completion := dataEnd + c.cfg.CtrlLatency
 	c.readLatSum += completion - s.at
 	c.readLatN++
-	req.CompleteAt(c.eng, completion)
+	if c.complete != nil {
+		c.complete(req, completion)
+		return
+	}
+	c.pushComp(dirRead, req.CompleteAtTagged(c.eng, completion, c.tag))
+}
+
+// pushComp retains the handle of a just-scheduled completion for the
+// decide loop's batching, pruning already-served handles off the ring
+// head so the ring tracks only in-flight completions. The zero handle
+// (a completion with no observer releases immediately) is dropped.
+func (c *channel) pushComp(dir int, h sim.Handle) {
+	if c.cfg.NoCompBatch || !h.Pending() {
+		return
+	}
+	r := &c.compRing[dir]
+	for r.n > 0 && !r.peek().Pending() {
+		r.pop()
+	}
+	r.push(h)
 }
 
 // rankActConstraint reports the earliest time a new ACT may issue in the

@@ -80,6 +80,14 @@ type Config struct {
 	// determinism test, which runs both settings) — so this knob exists
 	// only for that A/B validation and for isolating scheduler bugs.
 	NoFusion bool
+	// NoCompBatch disables completion batching: under saturated ladders the
+	// event blocking decide fusion is usually one of the channel's own
+	// scheduled completions, which the decide loop can fire inline (the
+	// pre-claimed decide event keeps the engine's (at, seq) order exact)
+	// and keep looping. Like NoFusion this is observationally neutral by
+	// construction, enforced by the same determinism test, and exists only
+	// for A/B validation and bug isolation.
+	NoCompBatch bool
 }
 
 // Validate reports a descriptive error for an unusable configuration.

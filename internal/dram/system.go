@@ -45,6 +45,15 @@ func (s *System) Access(req *mem.Request) {
 	s.chans[ch].enqueue(req, bi, rank, row)
 }
 
+// AccessAt submits one transaction for delivery at absolute time at — the
+// backend-routed form of the issuer's SendAt hop (mem.TimedBackend). On the
+// single-engine system this schedules the same delivery event the issuer
+// would have; it exists so issuers drive this system and the sharded one
+// through one code path.
+func (s *System) AccessAt(req *mem.Request, at sim.Time) {
+	req.SendAt(s.eng, s, at)
+}
+
 // Counters reports accumulated system-wide traffic counters, the model
 // equivalent of the uncore bandwidth counters the Mess benchmark samples.
 func (s *System) Counters() mem.Counters {
@@ -95,4 +104,5 @@ func (s *System) String() string {
 }
 
 var _ mem.Backend = (*System)(nil)
+var _ mem.TimedBackend = (*System)(nil)
 var _ mem.LatencyObserver = (*System)(nil)

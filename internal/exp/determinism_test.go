@@ -73,3 +73,61 @@ func TestFig2ReleaseCSVDeterminism(t *testing.T) {
 			bufFused.Bytes(), bufUnfused.Bytes())
 	}
 }
+
+// referenceCSV characterizes the Quick-scaled Skylake reference on a fresh
+// service with the given environment/spec tweaks and returns the CSV bytes.
+func referenceCSV(t *testing.T, tweakEnv func(*Env), tweakSpec func(*platform.Spec)) []byte {
+	t.Helper()
+	spec := scaleSpec(platform.Skylake(), Quick)
+	if tweakSpec != nil {
+		tweakSpec(&spec)
+	}
+	env := NewEnv(Quick, charz.New(charz.Config{}))
+	if tweakEnv != nil {
+		tweakEnv(env)
+	}
+	fam, err := env.reference(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fam.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedCharacterizationDeterminism is the bit-exactness gate of the
+// sharded engine: characterizing on per-channel shard engines advanced
+// concurrently under the conservative window barrier must land on the same
+// release CSV, byte for byte, as the single-engine run — across repeated
+// sharded runs, shard counts, the NoShard off-switch and with completion
+// batching disabled. Sharding is legal exactly because it cannot change
+// results; any divergence here is an ordering bug, not noise.
+func TestShardedCharacterizationDeterminism(t *testing.T) {
+	base := referenceCSV(t, nil, nil)
+	if len(base) == 0 {
+		t.Fatal("reference characterization produced no CSV output")
+	}
+	legs := []struct {
+		name      string
+		tweakEnv  func(*Env)
+		tweakSpec func(*platform.Spec)
+	}{
+		{"sharded-4", func(env *Env) { env.Shards = 4 }, nil},
+		{"sharded-4-again", func(env *Env) { env.Shards = 4 }, nil},
+		{"sharded-2", func(env *Env) { env.Shards = 2 }, nil},
+		{"noshard-override", func(env *Env) { env.Shards = 4; env.NoShard = true }, nil},
+		{"sharded-nocompbatch", func(env *Env) { env.Shards = 4 },
+			func(spec *platform.Spec) { spec.DRAM.NoCompBatch = true }},
+	}
+	for _, leg := range legs {
+		got := referenceCSV(t, func(env *Env) {
+			leg.tweakEnv(env)
+		}, leg.tweakSpec)
+		if !bytes.Equal(base, got) {
+			t.Errorf("%s: release CSV differs from the unsharded run:\nunsharded:\n%s\n%s:\n%s",
+				leg.name, base, leg.name, got)
+		}
+	}
+}

@@ -104,6 +104,15 @@ func (r *Result) Render(w io.Writer) error {
 type Env struct {
 	Scale Scale
 	Charz *charz.Service
+	// Shards, when at least 2, asks every characterization this
+	// environment runs to shard each measurement point across that many
+	// engines (bench.Options.Shards). Execution-only: results are
+	// byte-identical and cache keys unchanged, so sharded and unsharded
+	// environments share the service's entries.
+	Shards int
+	// NoShard forces single-engine execution even when Shards is set —
+	// the A/B kill switch for isolating the sharded runtime.
+	NoShard bool
 }
 
 // NewEnv builds an environment. A nil service gets a fresh in-memory one,
@@ -119,11 +128,20 @@ func NewEnv(s Scale, svc *charz.Service) *Env {
 // of the detailed DRAM model standing in for "actual hardware" — via the
 // characterization service (cached, deduplicated across experiments).
 func (env *Env) reference(spec platform.Spec) (*core.Family, error) {
-	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: benchOptions(env.Scale)})
+	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: env.benchOptions()})
 	if err != nil {
 		return nil, err
 	}
 	return art.Family, nil
+}
+
+// benchOptions resolves the environment's sweep settings: the scale's
+// defaults plus the execution-only sharding knob.
+func (env *Env) benchOptions() bench.Options {
+	opt := benchOptions(env.Scale)
+	opt.Shards = env.Shards
+	opt.NoShard = env.NoShard
+	return opt
 }
 
 // referenceAll resolves the reference families of several platforms
@@ -131,7 +149,7 @@ func (env *Env) reference(spec platform.Spec) (*core.Family, error) {
 func (env *Env) referenceAll(specs []platform.Spec) ([]*core.Family, error) {
 	reqs := make([]charz.Request, len(specs))
 	for i, spec := range specs {
-		reqs[i] = charz.Request{Spec: spec, Options: benchOptions(env.Scale)}
+		reqs[i] = charz.Request{Spec: spec, Options: env.benchOptions()}
 	}
 	arts, err := env.Charz.CharacterizeAll(reqs)
 	if err != nil {

@@ -146,13 +146,24 @@ func (r *Request) Complete(at sim.Time) {
 // CompleteAt schedules the request's completion at absolute time at, using
 // the record's prebuilt callback (no capturing closure). A request with no
 // Done callback has no observer: its record is released immediately rather
-// than holding a pool slot and an engine event until at.
-func (r *Request) CompleteAt(eng *sim.Engine, at sim.Time) {
+// than holding a pool slot and an engine event until at. The returned
+// handle names the scheduled completion event (the zero Handle for the
+// no-observer case); most backends ignore it, the DRAM controller retains
+// it to batch its own completions into the decide loop.
+func (r *Request) CompleteAt(eng *sim.Engine, at sim.Time) sim.Handle {
+	return r.CompleteAtTagged(eng, at, 0)
+}
+
+// CompleteAtTagged is CompleteAt with an explicit entity tag: the
+// completion event sorts among equal-(deadline, instant) events by tag,
+// which keeps completion order across entities (DRAM channels) identical
+// whether they share one engine or run on separate shards.
+func (r *Request) CompleteAtTagged(eng *sim.Engine, at sim.Time, tag int32) sim.Handle {
 	if r.Done == nil {
 		r.release()
-		return
+		return sim.Handle{}
 	}
-	eng.ScheduleTimed(at, r.fireFn())
+	return eng.ScheduleTimedTagged(at, tag, r.fireFn())
 }
 
 // SendAt schedules delivery of the request to a backend at absolute time
@@ -162,6 +173,30 @@ func (r *Request) CompleteAt(eng *sim.Engine, at sim.Time) {
 func (r *Request) SendAt(eng *sim.Engine, to Backend, at sim.Time) {
 	r.dest = to
 	eng.ScheduleTimed(at, r.deliverFn())
+}
+
+// SendVia schedules delivery of the request to a backend at time at
+// through a caller-supplied transmit function instead of a local engine —
+// the cross-shard form of SendAt. The transmit function (typically a
+// prebuilt ShardGroup send) receives the arrival time, the sender's
+// entity tag and the record's prebuilt deliver closure, so the hand-off
+// stays allocation-free. The target backend's Access runs on whichever
+// goroutine owns the receiving engine, which is what keeps the pool
+// contract intact under sharding: delivery only moves the record's
+// processing, never its pool.
+func (r *Request) SendVia(xmit func(at sim.Time, tag int32, fn func(sim.Time)), to Backend, at sim.Time, tag int32) {
+	r.dest = to
+	xmit(at, tag, r.deliverFn())
+}
+
+// CompleteVia schedules the request's completion at time at through a
+// caller-supplied transmit function — the cross-shard form of
+// CompleteAtTagged, used by DRAM channels running on a remote shard to
+// fire Done (and the pool release) back on the request's home goroutine.
+// Unlike CompleteAt it always transmits, even with no Done callback: the
+// release must run on the pool's own goroutine, not the sender's.
+func (r *Request) CompleteVia(xmit func(at sim.Time, tag int32, fn func(sim.Time)), at sim.Time, tag int32) {
+	xmit(at, tag, r.fireFn())
 }
 
 func (r *Request) fireFn() func(sim.Time) {
@@ -287,6 +322,39 @@ type Backend interface {
 	Access(req *Request)
 }
 
+// TimedBackend is a Backend that also accepts requests at a future time:
+// AccessAt is the backend-routed form of SendAt, letting the backend pick
+// where (which engine, which shard) the delivery event lives instead of
+// the issuer scheduling it locally. The detailed DRAM system implements it
+// on both its single-engine and sharded forms, which is what lets the
+// cache hierarchy drive either through one code path.
+type TimedBackend interface {
+	Backend
+	// AccessAt submits the request for delivery at absolute time at ≥ now,
+	// transferring ownership immediately. Issued is stamped with the
+	// delivery time, as with SendAt.
+	AccessAt(req *Request, at sim.Time)
+}
+
+// Timed unwraps b to its TimedBackend form if it has one, looking through
+// CountingBackend wrappers. A CountingBackend is timed exactly when its
+// inner backend is (the wrapper counts at submit time either way, so both
+// modes account traffic at the same instant). Use this instead of a direct
+// type assertion: CountingBackend always carries the AccessAt method, but
+// forwarding it to an untimed inner backend would panic.
+func Timed(b Backend) (TimedBackend, bool) {
+	if cb, ok := b.(*CountingBackend); ok {
+		if _, ok := Timed(cb.Inner); ok {
+			return cb, true
+		}
+		return nil, false
+	}
+	if tb, ok := b.(TimedBackend); ok {
+		return tb, true
+	}
+	return nil, false
+}
+
 // BackendFactory builds a backend on a specific engine; harnesses use it to
 // instantiate the memory model under test once per measurement point.
 type BackendFactory func(eng *sim.Engine) Backend
@@ -377,6 +445,14 @@ func NewCounting(inner Backend) *CountingBackend { return &CountingBackend{Inner
 func (b *CountingBackend) Access(req *Request) {
 	b.C.Add(req.Op, req.Bytes())
 	b.Inner.Access(req)
+}
+
+// AccessAt counts the request at submit time and forwards the timed
+// delivery. Only valid when the inner backend is a TimedBackend — gate
+// through Timed rather than asserting on the wrapper directly.
+func (b *CountingBackend) AccessAt(req *Request, at sim.Time) {
+	b.C.Add(req.Op, req.Bytes())
+	b.Inner.(TimedBackend).AccessAt(req, at)
 }
 
 // Snapshot returns the current counter values.

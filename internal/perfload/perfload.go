@@ -141,6 +141,13 @@ type ClosedLoopDriver struct {
 	done    mem.DoneFunc
 	pattern LoopPattern
 
+	// Sharded form (NewShardedClosedLoop): the driver lives on the group's
+	// home shard, every issue crosses to the owning channel shard after
+	// hop, and Run drives the whole group.
+	group *sim.ShardGroup
+	timed mem.TimedBackend
+	hop   sim.Time
+
 	line      uint64
 	rng       uint64
 	completed int
@@ -171,6 +178,18 @@ func NewClosedLoopPattern(eng *sim.Engine, backend mem.Backend, pattern LoopPatt
 	return d
 }
 
+// NewShardedClosedLoop builds a driver on the group's home shard issuing
+// through a sharded (timed) backend. hop is the core→controller flight
+// time of every request — the delivery delay of each issue and therefore
+// the home shard's declared lookahead, exactly the role the cache's
+// outbound on-chip hop plays in the benchmark topology.
+func NewShardedClosedLoop(group *sim.ShardGroup, backend mem.TimedBackend, hop sim.Time, pattern LoopPattern) *ClosedLoopDriver {
+	d := NewClosedLoopPattern(group.Engine(0), backend, pattern)
+	d.group, d.timed, d.hop = group, backend, hop
+	group.SetLookahead(0, hop)
+	return d
+}
+
 func (d *ClosedLoopDriver) issue() {
 	// The reference walk is shared: random replaces the address, mixed
 	// replaces every third op — so the patterns stay variants of one
@@ -189,7 +208,12 @@ func (d *ClosedLoopDriver) issue() {
 		}
 	}
 	d.line++
-	d.backend.Access(d.pool.Get(addr, op, d.done))
+	req := d.pool.Get(addr, op, d.done)
+	if d.timed != nil {
+		d.timed.AccessAt(req, d.eng.Now()+d.hop)
+		return
+	}
+	d.backend.Access(req)
 }
 
 // Run drives n requests to completion and drains the engine. A backend
@@ -201,7 +225,11 @@ func (d *ClosedLoopDriver) Run(n int) {
 	for i := 0; i < 256 && i < n; i++ {
 		d.issue()
 	}
-	d.eng.Run()
+	if d.group != nil {
+		d.group.Run()
+	} else {
+		d.eng.Run()
+	}
 	if d.completed < d.target {
 		panic(fmt.Sprintf("perfload: backend completed %d of %d requests (lost completion?)",
 			d.completed-(d.target-n), n))

@@ -71,11 +71,11 @@ func FromNanoseconds(ns float64) Time { return Time(ns*float64(Nanosecond) + 0.5
 // events beyond it go to the overflow heap and cascade into the wheel as
 // the cursor approaches them.
 const (
-	granBits  = 8                        // 256 ps per bucket
-	wheelBits = 10                       // 1024 buckets
-	wheelSize = int64(1) << wheelBits    // slots covered by the wheel window
-	wheelMask = wheelSize - 1            //
-	occWords  = int(wheelSize / 64)      // occupancy bitmap words
+	granBits  = 8                     // 256 ps per bucket
+	wheelBits = 10                    // 1024 buckets
+	wheelSize = int64(1) << wheelBits // slots covered by the wheel window
+	wheelMask = wheelSize - 1         //
+	occWords  = int(wheelSize / 64)   // occupancy bitmap words
 )
 
 // event is one scheduled callback record. Records are pooled: after firing
@@ -84,8 +84,10 @@ const (
 // still points at it.
 type event struct {
 	at    Time
-	seq   uint64 // tie-break so equal-time events run in schedule order
+	key   Time   // schedule instant (or cross-engine send instant): first tie-break
+	seq   uint64 // final tie-break so equal-(at, key, tag) events run in schedule order
 	gen   uint64 // bumped on recycle; Handles must match to act
+	tag   int32  // scheduling entity (0 = default); orders (at, key) ties across entities
 	dead  bool   // cancelled tombstone, swept lazily
 	inCur bool   // resident in the active run (drives tombstone compaction)
 	fn    func()
@@ -103,6 +105,12 @@ type Handle struct {
 
 // live reports whether the handle still names a pending event.
 func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead }
+
+// Pending reports whether the handle still names a queued event: false once
+// the event has fired, was cancelled, or for the zero Handle. Components
+// that retain handles to their own scheduled work (the DRAM controller's
+// completion ring) use it to prune records that the engine already served.
+func (h Handle) Pending() bool { return h.live() }
 
 // Cancel removes the pending event in O(1). Cancelling an event that has
 // already fired, was already cancelled, or was never scheduled (the zero
@@ -184,6 +192,40 @@ func (e *Engine) ScheduleTimed(at Time, fn func(Time)) Handle { return e.add(at,
 func (e *Engine) AfterTimed(d Time, fn func(Time)) Handle { return e.add(e.now+d, nil, fn) }
 
 func (e *Engine) add(at Time, fn func(), tfn func(Time)) Handle {
+	return e.addKeyed(at, e.now, 0, fn, tfn)
+}
+
+// ScheduleTagged is Schedule with an explicit entity tag: equal-(deadline,
+// schedule instant) events fire in tag order before falling back to
+// schedule order. Entities whose events are observable from other engines
+// under sharding (DRAM channels) schedule with their globally unique tag,
+// which makes cross-entity tie order a pure function of (at, key, tag) —
+// identical whether the entities share one engine or run on separate
+// shards — instead of an artifact of global schedule interleaving that a
+// sharded run cannot reproduce.
+func (e *Engine) ScheduleTagged(at Time, tag int32, fn func()) Handle {
+	return e.addKeyed(at, e.now, tag, fn, nil)
+}
+
+// ScheduleTimedTagged is ScheduleTimed with an explicit entity tag.
+func (e *Engine) ScheduleTimedTagged(at Time, tag int32, fn func(Time)) Handle {
+	return e.addKeyed(at, e.now, tag, nil, fn)
+}
+
+// ScheduleTimedSent queues fn to run at absolute time at, ordered among
+// equal-deadline events as if it had been scheduled at time sent with tag
+// tag — the injection form used by the shard coordinator to merge
+// cross-engine messages. On a single engine, events tying on deadline fire
+// in (schedule instant, tag, schedule order); an injected event carrying
+// its sender's clock and tag therefore sorts exactly where the equivalent
+// single-engine schedule call (made at the send instant) would have
+// landed, even though the receiving engine's clock has already passed
+// sent.
+func (e *Engine) ScheduleTimedSent(at, sent Time, tag int32, fn func(Time)) Handle {
+	return e.addKeyed(at, sent, tag, nil, fn)
+}
+
+func (e *Engine) addKeyed(at, key Time, tag int32, fn func(), tfn func(Time)) Handle {
 	if at < e.now {
 		at = e.now
 	}
@@ -203,7 +245,7 @@ func (e *Engine) add(at Time, fn func(), tfn func(Time)) Handle {
 		}
 	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn, ev.tfn = at, e.seq, fn, tfn
+	ev.at, ev.key, ev.tag, ev.seq, ev.fn, ev.tfn = at, key, tag, e.seq, fn, tfn
 	e.seq++
 	e.live++
 	switch slot := int64(at) >> granBits; {
@@ -217,10 +259,26 @@ func (e *Engine) add(at Time, fn func(), tfn func(Time)) Handle {
 	return Handle{eng: e, ev: ev, gen: ev.gen}
 }
 
-// less is the kernel's total event order.
+// less is the kernel's total event order: deadline, then schedule instant
+// (send instant for cross-engine injections), then entity tag, then
+// schedule order. For locally scheduled events key is the nondecreasing
+// engine clock, so among untagged events the order coincides with the
+// historical (at, seq) order. The key separates ties when an injected
+// event's send instant predates local schedules targeting the same
+// deadline; the tag separates full (at, key) ties across entities so the
+// order is reproducible on sharded engines, where the entities' relative
+// schedule interleaving is unknowable. Two events tying on all of (at,
+// key, tag) come from one entity, whose own schedule order (seq) is the
+// same sharded or not.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.tag != b.tag {
+		return a.tag < b.tag
 	}
 	return a.seq < b.seq
 }
@@ -455,6 +513,24 @@ func (e *Engine) Step() bool {
 		fn()
 	}
 	return true
+}
+
+// StepIf runs the next event only if it is exactly the event h names,
+// reporting whether it fired. It is the targeted form of Step for
+// components that want to absorb one of their own scheduled events inline
+// (the DRAM controller batching its completions into the decide loop):
+// because only the queue head can fire, the engine's (at, seq) total order
+// is preserved bit-for-bit — if any foreign event sorts earlier, StepIf
+// refuses and the caller falls back to the ordinary scheduled path.
+func (e *Engine) StepIf(h Handle) bool {
+	if h.eng != e || !h.live() {
+		return false
+	}
+	ev := e.peek()
+	if ev != h.ev || ev.gen != h.gen {
+		return false
+	}
+	return e.Step()
 }
 
 // Run executes events until the queue drains.

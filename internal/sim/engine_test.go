@@ -316,10 +316,10 @@ func TestOverflowCascadeOrdering(t *testing.T) {
 func TestRunUntilBoundariesOnWheel(t *testing.T) {
 	e := New()
 	count := 0
-	e.Schedule(100, func() { count++ })            // near bucket
-	e.Schedule(100, func() { count++ })            // same bucket, same time
-	e.Schedule(50*Nanosecond, func() { count++ })  // later bucket
-	e.Schedule(horizonT, func() { count++ })       // overflow
+	e.Schedule(100, func() { count++ })           // near bucket
+	e.Schedule(100, func() { count++ })           // same bucket, same time
+	e.Schedule(50*Nanosecond, func() { count++ }) // later bucket
+	e.Schedule(horizonT, func() { count++ })      // overflow
 
 	e.RunUntil(99)
 	if count != 0 || e.Now() != 99 {

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardGroup advances several Engines concurrently under a conservative
+// time-window barrier (classic conservative PDES). Each shard owns one
+// Engine and, between barriers, exactly one goroutine runs it: shard 0
+// ("home") runs on the caller's goroutine, shards 1..n-1 each on a
+// dedicated worker. All cross-shard communication goes through Send,
+// which appends to a per-(from,to) outbox owned by the sending shard's
+// goroutine; outboxes are drained into the target engines by the
+// coordinator between windows, so no engine is ever touched by two
+// goroutines at once.
+//
+// The window horizon is the conservative safe bound: a shard whose next
+// pending event is at nd cannot emit a cross-shard message arriving
+// before nd+lookahead(shard), so every event up to
+//
+//	W = min over busy shards of (NextDeadline + lookahead) - 1
+//
+// can run without ever seeing a message from the future. Lookahead is
+// the per-shard lower bound on (arrival - now) of every Send the shard
+// issues — the on-chip hop for the home shard, the DRAM burst time for
+// channel shards — declared up front via SetLookahead.
+//
+// Determinism: at each barrier the messages bound for one target are
+// sorted by (arrival, send time) with ties keeping (sending shard, send
+// order), then injected carrying their send instant and entity tag as
+// the engine's equal-deadline tie-break keys (ScheduleTimedSent). The
+// engine's (at, key, tag, seq) total order then places each delivery
+// exactly where the equivalent single-engine schedule call — made at the
+// send instant by the tagged entity — would have landed, so a sharded
+// run fires events in the same order as the unsharded run.
+type ShardGroup struct {
+	engines []*Engine
+	look    []Time // per-shard lookahead (lower bound on send flight time)
+	out     [][]outbox
+	scratch []xmsg
+
+	// Barrier state. epoch is the release store the workers spin on;
+	// windowEnd is written before epoch and read after, so it is ordered
+	// by the atomic. done[w] acknowledges worker w (padded to avoid
+	// false sharing between acknowledging workers).
+	windowEnd Time
+	epoch     atomic.Uint64
+	done      []ackSlot
+	stop      atomic.Bool
+	started   bool
+	wg        sync.WaitGroup
+}
+
+type ackSlot struct {
+	val atomic.Uint64
+	_   [56]byte
+}
+
+// xmsg is one cross-shard message: fn is scheduled on the target engine
+// at arrival time `at`, ordered by `sent` (the sender's clock at Send)
+// and `tag` (the sending entity) against the target's own events.
+type xmsg struct {
+	at   Time
+	sent Time
+	from int32
+	tag  int32
+	fn   func(Time)
+}
+
+type outbox struct {
+	msgs []xmsg
+}
+
+// NewShardGroup builds a group of n engines. Lookaheads default to the
+// 1 ps minimum; callers placing components on a shard must declare that
+// shard's real lookahead with SetLookahead or windows degenerate to
+// single-event steps.
+func NewShardGroup(n int) *ShardGroup {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: ShardGroup needs at least 1 shard, got %d", n))
+	}
+	g := &ShardGroup{
+		engines: make([]*Engine, n),
+		look:    make([]Time, n),
+		out:     make([][]outbox, n),
+	}
+	for i := range g.engines {
+		g.engines[i] = New()
+		g.look[i] = 1
+		g.out[i] = make([]outbox, n)
+	}
+	if n > 1 {
+		g.done = make([]ackSlot, n-1)
+	}
+	return g
+}
+
+// Shards reports the number of shards in the group.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
+
+// Engine returns shard i's engine. Between RunUntil calls the caller's
+// goroutine may use any engine; during a run only shard 0's engine may
+// be touched, and only from the goroutine that called RunUntil.
+func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// SetLookahead declares shard i's lookahead: a lower bound on
+// (arrival - Now()) of every Send the shard will ever issue. It must be
+// at least 1 (zero lookahead admits no conservative window).
+func (g *ShardGroup) SetLookahead(i int, l Time) {
+	if l < 1 {
+		panic(fmt.Sprintf("sim: shard %d lookahead %d < 1", i, l))
+	}
+	g.look[i] = l
+}
+
+// Lookahead reports shard i's declared lookahead.
+func (g *ShardGroup) Lookahead(i int) Time { return g.look[i] }
+
+// Send queues fn to run on shard `to` at time `at`, ordered as entity
+// `tag` (0 for untagged senders). It must be called from shard `from`'s
+// goroutine (during a window) or from the coordinator between windows,
+// and `at` must respect `from`'s declared lookahead. Delivery happens at
+// the next window barrier.
+func (g *ShardGroup) Send(from, to int, at Time, tag int32, fn func(Time)) {
+	b := &g.out[from][to]
+	b.msgs = append(b.msgs, xmsg{at: at, sent: g.engines[from].Now(), from: int32(from), tag: tag, fn: fn})
+}
+
+// deliverAll drains every outbox into its target engine in deterministic
+// merge order. Coordinator only, between windows.
+func (g *ShardGroup) deliverAll() {
+	for to, eng := range g.engines {
+		buf := g.scratch[:0]
+		for from := range g.engines {
+			b := &g.out[from][to]
+			buf = append(buf, b.msgs...)
+			b.msgs = b.msgs[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		// Stable insertion sort by (at, sent): batches are small (a few
+		// messages per window per target) and sort.Slice would allocate
+		// its closure on this per-window path. Stability preserves the
+		// (from, send-index) append order for fully tied keys.
+		for i := 1; i < len(buf); i++ {
+			m := buf[i]
+			j := i - 1
+			for j >= 0 && (buf[j].at > m.at || (buf[j].at == m.at && buf[j].sent > m.sent)) {
+				buf[j+1] = buf[j]
+				j--
+			}
+			buf[j+1] = m
+		}
+		// Injected events carry their send instant and entity tag as the
+		// engine's equal-deadline tie-break keys, so a delivery sorts
+		// against the target's own events exactly where the equivalent
+		// single-engine schedule call (made at the send instant by the
+		// tagged entity) would have landed.
+		for i := range buf {
+			eng.ScheduleTimedSent(buf[i].at, buf[i].sent, buf[i].tag, buf[i].fn)
+		}
+		g.scratch = buf[:0]
+	}
+}
+
+// horizon computes the conservative window end, capped at max.
+func (g *ShardGroup) horizon(max Time) (Time, bool) {
+	w := max
+	busy := false
+	for i, e := range g.engines {
+		if nd, ok := e.NextDeadline(); ok {
+			busy = true
+			if h := nd + g.look[i] - 1; h < w {
+				w = h
+			}
+		}
+	}
+	return w, busy
+}
+
+// runWindow releases the workers to advance their shards to end, runs
+// the home shard on the calling goroutine, and waits for all
+// acknowledgements.
+func (g *ShardGroup) runWindow(end Time) {
+	g.ensureWorkers()
+	g.windowEnd = end
+	e := g.epoch.Add(1)
+	g.engines[0].RunUntil(end)
+	for w := range g.done {
+		spins := 0
+		for g.done[w].val.Load() < e {
+			spins++
+			if spins%256 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func (g *ShardGroup) ensureWorkers() {
+	if g.stop.Load() {
+		panic("sim: ShardGroup used after Close")
+	}
+	if g.started || len(g.engines) == 1 {
+		g.started = true
+		return
+	}
+	g.started = true
+	for i := 1; i < len(g.engines); i++ {
+		g.wg.Add(1)
+		go g.worker(i)
+	}
+}
+
+func (g *ShardGroup) worker(i int) {
+	defer g.wg.Done()
+	eng := g.engines[i]
+	ack := &g.done[i-1].val
+	last := uint64(0)
+	for {
+		spins := 0
+		for g.epoch.Load() == last {
+			spins++
+			if spins%256 == 0 {
+				runtime.Gosched()
+			}
+		}
+		last = g.epoch.Load()
+		if g.stop.Load() {
+			ack.Store(last)
+			return
+		}
+		eng.RunUntil(g.windowEnd)
+		ack.Store(last)
+	}
+}
+
+// RunUntil advances every shard to time t, exchanging cross-shard
+// messages at window barriers. On return all engines are quiescent at t
+// and the caller's goroutine owns them all; messages produced in the
+// final window (arriving after t) are already delivered and pending.
+func (g *ShardGroup) RunUntil(t Time) {
+	for {
+		g.deliverAll()
+		w, _ := g.horizon(t)
+		if w >= t {
+			g.runWindow(t)
+			g.deliverAll()
+			return
+		}
+		g.runWindow(w)
+	}
+}
+
+// Run advances the group until every engine is drained and every outbox
+// empty — the sharded analogue of Engine.Run.
+func (g *ShardGroup) Run() {
+	for {
+		g.deliverAll()
+		w, busy := g.horizon(Time(math.MaxInt64) - 1)
+		if !busy {
+			return
+		}
+		g.runWindow(w)
+	}
+}
+
+// Now reports the home shard's clock.
+func (g *ShardGroup) Now() Time { return g.engines[0].Now() }
+
+// Steps reports total events executed across all shards.
+func (g *ShardGroup) Steps() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.Steps()
+	}
+	return n
+}
+
+// Reset returns every engine to time zero and clears all outboxes,
+// keeping workers parked and internal storage for reuse — the sharded
+// analogue of Engine.Reset.
+func (g *ShardGroup) Reset() {
+	for _, e := range g.engines {
+		e.Reset()
+	}
+	for from := range g.out {
+		for to := range g.out[from] {
+			g.out[from][to].msgs = g.out[from][to].msgs[:0]
+		}
+	}
+}
+
+// Close terminates the worker goroutines. The group must not be run
+// afterwards. Safe to call on a group that never ran.
+func (g *ShardGroup) Close() {
+	if !g.started || len(g.engines) == 1 {
+		return
+	}
+	g.stop.Store(true)
+	g.epoch.Add(1)
+	g.wg.Wait()
+}

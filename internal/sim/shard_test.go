@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestScheduleTimedSentOrder pins the keyed total order: equal-deadline
+// events fire by (schedule/send instant, entity tag, schedule order), and
+// plain schedules carry the current clock as their instant.
+func TestScheduleTimedSentOrder(t *testing.T) {
+	eng := New()
+	var order []int
+	rec := func(id int) func(Time) {
+		return func(Time) { order = append(order, id) }
+	}
+	// All inserted at now=0 for deadline 100, in an order chosen to
+	// disagree with every tie-break level.
+	eng.ScheduleTimedSent(100, 5, 0, rec(5)) // latest instant: last
+	eng.ScheduleTimedSent(100, 3, 2, rec(4)) // instant 3, tag 2
+	eng.ScheduleTimedSent(100, 3, 1, rec(2)) // instant 3, tag 1, first scheduled
+	eng.ScheduleTimedSent(100, 3, 1, rec(3)) // same instant+tag: schedule order
+	eng.ScheduleTimed(100, rec(1))           // local: instant = now = 0, first
+	eng.Run()
+	for i, id := range order {
+		if id != i+1 {
+			t.Fatalf("fire order %v, want [1 2 3 4 5]", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+// TestShardGroupMergeOrder drives equal-arrival cross-shard messages from
+// two shards and checks they fire on the home engine in send-instant order
+// with tag breaking exact ties — independent of which shard's outbox
+// drains first.
+func TestShardGroupMergeOrder(t *testing.T) {
+	g := NewShardGroup(3)
+	defer g.Close()
+	var order []int
+	rec := func(id int) func(Time) {
+		return func(Time) { order = append(order, id) }
+	}
+	// Shard 2 sends earlier (instant 10) than shard 1 (instant 20), both
+	// arriving at 1000: the instant must win over the shard index. Two
+	// sends from shard 1 at the same instant with different tags order by
+	// tag even though appended in the opposite order.
+	g.Engine(2).Schedule(10, func() { g.Send(2, 0, 1000, 9, rec(1)) })
+	g.Engine(1).Schedule(20, func() {
+		g.Send(1, 0, 1000, 7, rec(3))
+		g.Send(1, 0, 1000, 6, rec(2))
+	})
+	// A home event at the same deadline scheduled at instant 0: first.
+	g.Engine(0).ScheduleTimed(1000, rec(0))
+	g.Run()
+	if len(order) != 4 {
+		t.Fatalf("fired %d events, want 4", len(order))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("fire order %v, want [0 1 2 3]", order)
+		}
+	}
+}
+
+// TestShardGroupConservativeWindows checks messages land on time under the
+// lookahead contract even when the sender's clock runs far ahead of the
+// receiver between barriers.
+func TestShardGroupConservativeWindows(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	const look = 50
+	g.SetLookahead(1, look)
+	var got []Time
+	var tick func()
+	n := 0
+	tick = func() {
+		at := g.Engine(1).Now() + look
+		g.Send(1, 0, at, 0, func(fireAt Time) {
+			if now := g.Engine(0).Now(); now != fireAt {
+				t.Errorf("delivery fired at %d, scheduled for %d", now, fireAt)
+			}
+			got = append(got, fireAt)
+		})
+		n++
+		if n < 100 {
+			g.Engine(1).After(7, tick)
+		}
+	}
+	g.Engine(1).Schedule(1, tick)
+	g.Run()
+	if len(got) != 100 {
+		t.Fatalf("delivered %d messages, want 100", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("deliveries out of order: %d after %d", got[i], got[i-1])
+		}
+	}
+}
+
+// TestShardGroupRunUntilReset checks partial advance and reuse: RunUntil
+// leaves every engine quiescent at t, Reset returns the group to time
+// zero with outboxes cleared, and a second run reproduces the first.
+func TestShardGroupRunUntilReset(t *testing.T) {
+	run := func(g *ShardGroup) int {
+		fired := 0
+		var tick func()
+		tick = func() {
+			fired++
+			g.Send(1, 0, g.Engine(1).Now()+1, 0, func(Time) {})
+			if fired < 500 {
+				g.Engine(1).After(3, tick)
+			}
+		}
+		g.Engine(1).Schedule(0, tick)
+		g.RunUntil(600)
+		if g.Now() != 600 {
+			t.Fatalf("home clock %d after RunUntil(600)", g.Now())
+		}
+		g.Run()
+		return fired
+	}
+	g := NewShardGroup(2)
+	defer g.Close()
+	first := run(g)
+	g.Reset()
+	if g.Now() != 0 {
+		t.Fatalf("home clock %d after Reset", g.Now())
+	}
+	second := run(g)
+	if first != second || first != 500 {
+		t.Fatalf("runs fired %d then %d events, want 500 both", first, second)
+	}
+}
+
+// TestShardGroupGuards pins the misuse panics: zero shards, invalid
+// lookahead, and running a closed group.
+func TestShardGroupGuards(t *testing.T) {
+	expectPanic(t, "zero shards", func() { NewShardGroup(0) })
+	expectPanic(t, "zero lookahead", func() {
+		g := NewShardGroup(2)
+		defer g.Close()
+		g.SetLookahead(1, 0)
+	})
+	expectPanic(t, "run after Close", func() {
+		g := NewShardGroup(2)
+		g.Engine(1).Schedule(5, func() {})
+		g.Run()
+		g.Close()
+		g.Engine(1).Schedule(5, func() {})
+		g.Run()
+	})
+}
+
+func expectPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", label)
+		}
+	}()
+	fn()
+}

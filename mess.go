@@ -349,6 +349,17 @@ const (
 // NewEngine returns a fresh simulation engine.
 func NewEngine() *Engine { return sim.New() }
 
+// ShardGroup advances several engines concurrently under a conservative
+// time-window barrier — the substrate of sharded multi-channel simulation.
+// Results are deterministic: equal-time cross-shard events merge in a fixed
+// order, so a sharded run is byte-identical to its single-engine
+// equivalent. See BenchmarkOptions.Shards for the high-level knob.
+type ShardGroup = sim.ShardGroup
+
+// NewShardGroup builds a group of n engines (shard 0 runs on the calling
+// goroutine; the rest on parked workers). Close it when done.
+func NewShardGroup(n int) *ShardGroup { return sim.NewShardGroup(n) }
+
 // NewSimulator builds the Mess analytical simulator on the engine.
 func NewSimulator(eng *Engine, cfg SimulatorConfig) *Simulator {
 	return messsim.New(eng, cfg)
@@ -437,11 +448,24 @@ func RunExperiment(id string, s ExperimentScale) (*ExperimentResult, error) {
 // registry sweep survives process restarts. A nil service gets a fresh
 // in-memory one.
 func RunExperimentWith(svc *CharacterizationService, id string, s ExperimentScale) (*ExperimentResult, error) {
+	return RunExperimentSharded(svc, id, s, 0)
+}
+
+// RunExperimentSharded is RunExperimentWith with every reference
+// characterization sharding each measurement point across the given number
+// of engines (BenchmarkOptions.Shards). Sharding is execution-only: the
+// results — and the characterization cache keys — are identical to the
+// unsharded run, so use it to cut single-configuration latency on
+// multi-channel platforms when cores are available. Shards below 2 mean
+// unsharded.
+func RunExperimentSharded(svc *CharacterizationService, id string, s ExperimentScale, shards int) (*ExperimentResult, error) {
 	e, ok := exp.ByID(id)
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id}
 	}
-	return e.Run(exp.NewEnv(s, svc))
+	env := exp.NewEnv(s, svc)
+	env.Shards = shards
+	return e.Run(env)
 }
 
 // UnknownExperimentError reports a request for an unregistered experiment.
