@@ -22,6 +22,13 @@
 //     rows record the gomaxprocs they ran at, since their numbers are
 //     meaningless without it. -shards picks the engine count (0 = auto:
 //     GOMAXPROCS capped at channels+1; 1 = disable the sharded rows).
+//     Since v4 the framework layer also measures the trace-replay pair:
+//     one fig6-class trace captured on the Quick-scaled platform, replayed
+//     in full (framework/fig6_replay) and through the phase-clustered
+//     sampler (framework/fig6_replay_sampled). The sampled row carries
+//     divergence_pct and speedup_x — deterministic accuracy numbers that
+//     -max-divergence and -min-speedup turn into hard gates (CI runs with
+//     -max-divergence 5 -min-speedup 5); -skip-replay disables the pair.
 //
 // With -best-of N, every measurement is taken N times and only the best
 // sample (highest events/sec; lowest wall-clock for wall-only rows) is
@@ -46,6 +53,7 @@
 //
 //	messperf [-out BENCH_sim.json] [-kernel-events 4000000] [-model-events 300000]
 //	         [-best-of 3] [-skip-fig2] [-gate BENCH_sim.json] [-gate-drop 0.30]
+//	         [-max-divergence 5] [-min-speedup 5] [-skip-replay]
 package main
 
 import (
@@ -61,14 +69,20 @@ import (
 	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/cli"
 	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/memmodel"
 	"github.com/mess-sim/mess/internal/perfload"
+	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/trace"
 )
 
 // Schema identifies the BENCH_sim.json format. v2 added allocs_per_op to
 // every op-counted result; v3 added the sharded-execution rows
 // (model/dram_sharded, framework/fig2_quick_sharded, framework/fig2_point,
-// framework/fig2_point_sharded) and per-result gomaxprocs.
-const Schema = "mess-perf/v3"
+// framework/fig2_point_sharded) and per-result gomaxprocs; v4 added the
+// trace-replay pair (framework/fig6_replay, framework/fig6_replay_sampled)
+// with the sampled row's divergence_pct and speedup_x accuracy fields.
+const Schema = "mess-perf/v4"
 
 // Result is one measured quantity of the suite. AllocsPerOp follows the
 // `go test -benchmem` convention (total mallocs / ops, truncated): the
@@ -86,6 +100,13 @@ type Result struct {
 	// GOMAXPROCS is set on rows whose wall-clock depends on host
 	// parallelism (the sharded-execution rows); zero elsewhere.
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// DivergencePct and SpeedupX are set on the sampled-replay row only:
+	// the reconstruction's worst-case bandwidth/latency deviation from the
+	// full replay of the same trace, and the record-count reduction the
+	// sampling achieved. Both are deterministic per trace (unlike the
+	// wall-clock columns), so they can be gated as hard bounds.
+	DivergencePct float64 `json:"divergence_pct,omitempty"`
+	SpeedupX      float64 `json:"speedup_x,omitempty"`
 }
 
 // Report is the BENCH_sim.json schema.
@@ -215,6 +236,9 @@ func main() {
 		gatePrev     = flag.String("gate-prev", "", "additional baseline (the previous CI run's artifact) gated at -gate-prev-drop")
 		gatePrevDrop = flag.Float64("gate-prev-drop", 0.10, "maximum tolerated fractional events/sec drop vs -gate-prev")
 		shardsFlag   = flag.Int("shards", 0, "engines for the sharded rows (0 = auto: GOMAXPROCS capped at channels+1; 1 = skip sharded rows)")
+		skipReplay   = flag.Bool("skip-replay", false, "skip the fig6 trace-replay rows")
+		maxDiverge   = flag.Float64("max-divergence", 0, "fail when the sampled replay diverges from the full replay by more than this percentage (0 = no gate)")
+		minSpeedup   = flag.Float64("min-speedup", 0, "fail when the sampled replay's record-count speedup is below this factor (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -265,6 +289,9 @@ func main() {
 			}
 			fmt.Printf("%-28s %10.1f ns/op %12.0f events/s %6d allocs/op %10.1f ms\n",
 				r.Name, r.NsPerOp, r.EventsPerSec, allocs, r.WallMs)
+		} else if r.SpeedupX > 0 {
+			fmt.Printf("%-28s %32s divergence %5.2f%% %6.1f× %8.1f ms\n",
+				r.Name, "", r.DivergencePct, r.SpeedupX, r.WallMs)
 		} else {
 			fmt.Printf("%-28s %49s %10.1f ms\n", r.Name, "", r.WallMs)
 		}
@@ -408,6 +435,60 @@ func main() {
 		}))
 	}
 
+	// The fig6-class trace-replay pair: one mid-pressure trace (40% stores,
+	// 16 ns pacing) is captured once on the same Quick-scaled Skylake, then
+	// replayed in full (framework/fig6_replay) and through the
+	// phase-clustered sampler (framework/fig6_replay_sampled). The sampled
+	// row additionally records how far its reconstructed estimates diverge
+	// from the full replay and what fraction of the records it avoided
+	// simulating; both numbers are deterministic per trace, so
+	// -max-divergence / -min-speedup can gate them as hard accuracy bounds
+	// next to the (noisy, trajectory-only) wall-clock columns.
+	if !*skipReplay {
+		topt := bench.QuickOptions()
+		topt.Mixes = []bench.Mix{{StorePercent: 40}}
+		topt.PacesNs = []float64{16}
+		topt.Parallelism = 1
+		// Sampling pays off only when the trace holds many windows of a
+		// span long enough for queueing to reach steady state (~µs); the
+		// default Quick measure window would yield barely a dozen.
+		topt.Measure = 192 * sim.Microsecond
+		var cap *trace.Capture
+		topt.Backend = func(eng *sim.Engine) mem.Backend {
+			cap = trace.NewCapture(eng, dram.New(eng, point.DRAM), 400_000)
+			return cap
+		}
+		if _, err := bench.Run(point, topt); err != nil {
+			cli.Fatal(err)
+		}
+		tr := &cap.T
+		mkReplay := func(eng *sim.Engine) mem.Backend { return memmodel.NewDRAMsim3Like(eng, point) }
+		var full trace.ReplayResult
+		add(best(func() Result {
+			return measure("framework/fig6_replay", 0, func() {
+				eng := sim.New()
+				full = trace.Replay(eng, mkReplay(eng), tr)
+			})
+		}))
+		mapper := dram.NewMapper(&point.DRAM)
+		add(best(func() Result {
+			var sam *trace.SampledResult
+			r := measure("framework/fig6_replay_sampled", 0, func() {
+				var err error
+				sam, err = trace.Sampled(mkReplay, tr, trace.SampleConfig{
+					Span:    2 * sim.Microsecond,
+					BankRow: mapper.BankRow,
+				})
+				if err != nil {
+					cli.Fatal(err)
+				}
+			})
+			r.DivergencePct = sam.DivergencePct(full)
+			r.SpeedupX = sam.SpeedupX
+			return r
+		}))
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		cli.Fatal(err)
@@ -430,5 +511,26 @@ func main() {
 			cli.Fatal(err)
 		}
 		fmt.Printf("gate passed: no kernel benchmark dropped more than %.0f%% vs %s\n", 100*g.drop, g.path)
+	}
+
+	// The sampled-replay accuracy gate needs no baseline: divergence and
+	// speedup are absolute, deterministic properties of this build against
+	// its own full replay.
+	if *maxDiverge > 0 || *minSpeedup > 0 {
+		for _, r := range rep.Results {
+			if r.Name != "framework/fig6_replay_sampled" {
+				continue
+			}
+			if *maxDiverge > 0 && r.DivergencePct > *maxDiverge {
+				cli.Fatal(fmt.Errorf("gate: sampled replay diverges %.2f%% from the full replay (> %.1f%% allowed)",
+					r.DivergencePct, *maxDiverge))
+			}
+			if *minSpeedup > 0 && r.SpeedupX < *minSpeedup {
+				cli.Fatal(fmt.Errorf("gate: sampled replay simulated too much of the trace: %.1f× speedup (< %.1f× required)",
+					r.SpeedupX, *minSpeedup))
+			}
+			fmt.Printf("gate passed: sampled replay divergence %.2f%%, speedup %.1f×\n",
+				r.DivergencePct, r.SpeedupX)
+		}
 	}
 }

@@ -2,10 +2,24 @@
 // replays them through standalone memory models — the paper's trace-driven
 // methodology (Sec. IV-D) as a tool.
 //
+// Replay runs either in full (every record simulated) or sampled: the
+// trace is cut into fixed-span windows, each window fingerprinted with an
+// access vector, the vectors clustered, and only one representative window
+// (plus probes) per behaviour cluster is simulated; full-trace bandwidth
+// and latency are reconstructed as cluster-weighted sums with error bars.
+// Sampled replay is deterministic — same trace and settings, same result.
+//
+// Sampling needs a trace long enough to hold many µs-span windows —
+// capture with a few hundred µs of measured time (-measure-us) when the
+// trace is destined for -sampled replay.
+//
 // Usage:
 //
 //	messtrace -platform "Intel Skylake" -capture trace.txt -stores 40 -pace 8
+//	messtrace -platform "Intel Skylake" -capture trace.txt -measure-us 400 -limit 0
 //	messtrace -replay trace.txt -model dramsim3 -platform "Intel Skylake"
+//	messtrace -replay trace.txt -model dramsim3 -sampled -compare-full
+//	messtrace -replay trace.txt -sampled -windows 96 -clusters 8 -probes 2 -warmup 0.5
 package main
 
 import (
@@ -32,6 +46,14 @@ func main() {
 		replay  = flag.String("replay", "", "replay this trace file")
 		model   = flag.String("model", "dramsim3", "replay: memory model kind")
 		limit   = flag.Int("limit", 200000, "capture: maximum records")
+		measUs  = flag.Int("measure-us", 15, "capture: measured window in µs (captures destined for -sampled replay want hundreds: sampling needs many µs-span windows)")
+
+		sampled  = flag.Bool("sampled", false, "replay: sample one window per behaviour cluster instead of every record")
+		windows  = flag.Int("windows", 0, "sampled: target window count (0 = default)")
+		clusters = flag.Int("clusters", 0, "sampled: behaviour cluster count (0 = default)")
+		probes   = flag.Int("probes", 0, "sampled: extra windows replayed per cluster for error bars (0 = default)")
+		warmup   = flag.Float64("warmup", 0, "sampled: warm-up prefix as a fraction of the window span (0 = default)")
+		compare  = flag.Bool("compare-full", false, "sampled: also run the full replay and report the divergence")
 	)
 	flag.Parse()
 
@@ -39,20 +61,27 @@ func main() {
 
 	switch {
 	case *capture != "":
-		doCapture(spec, *capture, *stores, *pace, *limit)
+		doCapture(spec, *capture, *stores, *pace, *limit, *measUs)
 	case *replay != "":
-		doReplay(spec, *replay, memmodel.Kind(*model))
+		cfg := trace.SampleConfig{
+			Windows: *windows, Clusters: *clusters, Probes: *probes,
+			WarmupFrac: *warmup,
+		}
+		doReplay(spec, *replay, memmodel.Kind(*model), *sampled, *compare, cfg)
 	default:
 		fmt.Println("use -capture <file> or -replay <file>; see -h")
 	}
 }
 
-func doCapture(spec mess.Platform, path string, stores int, pace float64, limit int) {
+func doCapture(spec mess.Platform, path string, stores int, pace float64, limit, measUs int) {
 	var cap *trace.Capture
 	opt := bench.QuickOptions()
 	opt.Mixes = []bench.Mix{{StorePercent: stores}}
 	opt.PacesNs = []float64{pace}
 	opt.Parallelism = 1
+	if measUs > 0 {
+		opt.Measure = sim.Time(measUs) * sim.Microsecond
+	}
 	opt.Backend = func(eng *sim.Engine) mem.Backend {
 		cap = trace.NewCapture(eng, dram.New(eng, spec.DRAM), limit)
 		return cap
@@ -76,7 +105,7 @@ func doCapture(spec mess.Platform, path string, stores int, pace float64, limit 
 	fmt.Printf("trace written to %s\n", path)
 }
 
-func doReplay(spec mess.Platform, path string, kind memmodel.Kind) {
+func doReplay(spec mess.Platform, path string, kind memmodel.Kind, sampled, compare bool, cfg trace.SampleConfig) {
 	f, err := os.Open(path)
 	if err != nil {
 		cli.Fatal(err)
@@ -87,14 +116,43 @@ func doReplay(spec mess.Platform, path string, kind memmodel.Kind) {
 		cli.Fatal(err)
 	}
 
-	eng := sim.New()
-	m, err := memmodel.New(kind, eng, spec, nil)
+	mk := func(eng *sim.Engine) mem.Backend {
+		m, err := memmodel.New(kind, eng, spec, nil)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		return m
+	}
+	if !sampled {
+		eng := sim.New()
+		res := trace.Replay(eng, mk(eng), tr)
+		fmt.Printf("replayed %d records through %s:\n", len(tr.Records), kind)
+		fmt.Printf("  bandwidth:        %.1f GB/s\n", res.BWGBs)
+		fmt.Printf("  mean read latency: %.1f ns (controller level)\n", res.ReadLatNs)
+		fmt.Printf("  read ratio:       %.2f\n", res.ReadRatio)
+		return
+	}
+
+	mapper := dram.NewMapper(&spec.DRAM)
+	cfg.BankRow = mapper.BankRow
+	sam, err := trace.Sampled(mk, tr, cfg)
 	if err != nil {
 		cli.Fatal(err)
 	}
-	res := trace.Replay(eng, m, tr)
-	fmt.Printf("replayed %d records through %s:\n", len(tr.Records), kind)
-	fmt.Printf("  bandwidth:        %.1f GB/s\n", res.BWGBs)
-	fmt.Printf("  mean read latency: %.1f ns (controller level)\n", res.ReadLatNs)
-	fmt.Printf("  read ratio:       %.2f\n", res.ReadRatio)
+	fmt.Printf("sampled replay of %d records through %s (%d of %d windows simulated, %.1f× speedup):\n",
+		sam.TotalRecords, kind, len(sam.Clusters), len(sam.Windows), sam.SpeedupX)
+	fmt.Printf("  bandwidth:        %.1f ± %.1f GB/s\n", sam.Estimate.BWGBs, sam.BWErrGBs)
+	fmt.Printf("  mean read latency: %.1f ± %.1f ns (controller level)\n", sam.Estimate.ReadLatNs, sam.LatErrNs)
+	fmt.Printf("  read ratio:       %.2f\n", sam.Estimate.ReadRatio)
+	for i := range sam.Clusters {
+		c := &sam.Clusters[i]
+		fmt.Printf("  cluster %d: %d windows (%.0f%% of time), %.1f GB/s, %.1f ns, stretch %.3f\n",
+			i, c.Windows, 100*c.Weight, c.BWGBs, c.ReadLatNs, c.Stretch)
+	}
+	if compare {
+		eng := sim.New()
+		full := trace.Replay(eng, mk(eng), tr)
+		fmt.Printf("full replay: %.1f GB/s, %.1f ns → divergence %.2f%%\n",
+			full.BWGBs, full.ReadLatNs, sam.DivergencePct(full))
+	}
 }

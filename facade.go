@@ -1,9 +1,14 @@
 package mess
 
 import (
+	"io"
+
 	"github.com/mess-sim/mess/internal/cpu"
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/memmodel"
 	"github.com/mess-sim/mess/internal/profile"
+	"github.com/mess-sim/mess/internal/trace"
 	"github.com/mess-sim/mess/internal/workloads"
 )
 
@@ -96,4 +101,54 @@ type Sampler = profile.Sampler
 // NewSampler builds a sampler with the given period.
 func NewSampler(eng *Engine, counting *CountingBackend, every SimTime) *Sampler {
 	return profile.NewSampler(eng, counting, every)
+}
+
+// Trace-driven replay API (Sec. IV-D methodology).
+type (
+	// Trace is an ordered sequence of captured memory operations.
+	Trace = trace.Trace
+	// TraceRecord is one traced memory operation.
+	TraceRecord = trace.Record
+	// TraceCapture wraps a backend and records every request through it.
+	TraceCapture = trace.Capture
+	// TraceReplayResult is the outcome of a trace-driven simulation.
+	TraceReplayResult = trace.ReplayResult
+	// TraceSampleConfig tunes the sampled (phase-clustered) replay.
+	TraceSampleConfig = trace.SampleConfig
+	// SampledReplayResult is a sampled replay's reconstructed estimates
+	// with per-cluster error bars.
+	SampledReplayResult = trace.SampledResult
+	// MemBackendFactory builds a backend on a specific engine; sampled
+	// replay uses it to instantiate one backend per replayed window.
+	MemBackendFactory = mem.BackendFactory
+)
+
+// NewTraceCapture wraps a backend so every request is recorded (up to
+// limit records; 0 = unlimited).
+func NewTraceCapture(eng *Engine, inner MemBackend, limit int) *TraceCapture {
+	return trace.NewCapture(eng, inner, limit)
+}
+
+// ReadTrace parses a trace in the messtrace text format, validating that
+// timestamps are non-decreasing.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// ReplayTrace drives the backend with the full trace and measures the
+// achieved bandwidth and mean read latency.
+func ReplayTrace(eng *Engine, backend MemBackend, t *Trace) TraceReplayResult {
+	return trace.Replay(eng, backend, t)
+}
+
+// SampledReplayTrace estimates what ReplayTrace would report by windowing
+// the trace, clustering the windows by access-vector fingerprint, and
+// replaying one representative window (plus probes) per cluster — the
+// 10–100× cheaper application-profiling path. Deterministic: same trace
+// and config produce byte-identical estimates. Pass the platform whose
+// DRAM geometry should drive the row-locality fingerprint feature.
+func SampledReplayTrace(mk MemBackendFactory, p Platform, t *Trace, cfg TraceSampleConfig) (*SampledReplayResult, error) {
+	if cfg.BankRow == nil {
+		m := dram.NewMapper(&p.DRAM)
+		cfg.BankRow = m.BankRow
+	}
+	return trace.Sampled(mk, t, cfg)
 }

@@ -115,6 +115,16 @@ func (m Mapper) Map(addr uint64) Loc {
 	return Loc{Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col}
 }
 
+// BankRow resolves addr to a globally flat bank index (channel, rank and
+// bank folded into one number) and its row — the projection trace
+// fingerprinting needs to estimate row-buffer locality under this
+// geometry without simulating the controller. The signature matches
+// trace.SampleConfig.BankRow.
+func (m Mapper) BankRow(addr uint64) (bank int, row int64) {
+	l := m.Map(addr)
+	return (l.Channel*m.Ranks+l.Rank)*m.Banks + l.Bank, l.Row
+}
+
 // Unmap is the inverse of Map for non-XOR mappings; it reconstructs the
 // lowest address of the line at the location. It exists to support
 // property-based testing of bijectivity.

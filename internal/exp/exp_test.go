@@ -41,7 +41,7 @@ func runExp(t *testing.T, id string) *Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig3g", "fig3h",
-		"table1", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13",
+		"table1", "fig4", "fig5", "fig6", "fig6s", "fig7", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "tablespeed", "openpiton-bug",
 	}
 	for _, id := range want {
@@ -158,6 +158,32 @@ func TestFig5ModelPathologies(t *testing.T) {
 	// The internal DDR model under-estimates the saturated bandwidth.
 	if got := byLabel[find("internal-ddr")]; got > actualMax*0.95 {
 		t.Errorf("internal DDR max BW %.0f not below actual %.0f", got, actualMax)
+	}
+}
+
+// TestFig6sSampledReplayBounds pins the sampled-replay experiment's
+// acceptance bound: every sweep point's sampled estimate stays within 5%
+// of its full replay, and the sampling actually saves work.
+func TestFig6sSampledReplayBounds(t *testing.T) {
+	res := runExp(t, "fig6s")
+	if len(res.Rows) == 0 {
+		t.Fatal("fig6s produced no sweep points")
+	}
+	for _, row := range res.Rows {
+		div, err := strconv.ParseFloat(strings.TrimSuffix(row[6], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad divergence cell %q", row[6])
+		}
+		if div > 5 {
+			t.Errorf("pace %s ns: sampled estimate diverges %.1f%% (> 5%%) from full replay", row[0], div)
+		}
+		speed, err := strconv.ParseFloat(strings.TrimSuffix(row[7], "×"), 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", row[7])
+		}
+		if speed < 2 {
+			t.Errorf("pace %s ns: sampled replay speedup %.1f× — sampling not saving work", row[0], speed)
+		}
 	}
 }
 

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/mess-sim/mess/internal/dram"
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// phaseTrace builds a synthetic phase-switching trace: the program cycles
+// through distinct memory behaviours (sequential streaming reads, random
+// read/write mixes, sparse pointer-chase-like access), each lasting many
+// windows — the workload shape the access-vector clustering is built to
+// exploit.
+func phaseTrace(records int) *Trace {
+	tr := &Trace{}
+	rng := splitmix64(42)
+	at := sim.Time(0)
+	var seqAddr uint64
+	for i := 0; i < records; i++ {
+		phase := (i / 2000) % 3
+		var rec Record
+		switch phase {
+		case 0: // streaming: sequential reads, steady fast pacing
+			seqAddr += 64
+			rec = Record{At: at, Addr: seqAddr}
+			at += 3 * sim.Nanosecond
+		case 1: // random mix: scattered lines, writes, near-saturation pace
+			// (captured traces come from closed-loop runs, so arrival rates
+			// stay near — not past — what the backend sustains; open-loop
+			// oversaturation has no steady state to sample)
+			rec = Record{
+				At:    at,
+				Addr:  (rng.next() % (1 << 22)) * 64,
+				Write: rng.next()%3 == 0,
+			}
+			at += 7 * sim.Nanosecond
+		default: // sparse: far strides, slow pacing, read-only
+			rec = Record{At: at, Addr: (rng.next() % (1 << 26)) * 64}
+			at += 20 * sim.Nanosecond
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr
+}
+
+func ddr4Factory() (mem.BackendFactory, dram.Mapper) {
+	cfg := dram.DDR4(3200, 2, 2)
+	return func(eng *sim.Engine) mem.Backend { return dram.New(eng, cfg) }, dram.NewMapper(&cfg)
+}
+
+// TestSampledFidelity pins the headline contract: on a phase-switching
+// trace, the sampled estimate lands within a few percent of the full
+// replay on both bandwidth and latency, inside the reported error bars,
+// while replaying a small fraction of the records.
+func TestSampledFidelity(t *testing.T) {
+	tr := phaseTrace(48000)
+	mk, mapper := ddr4Factory()
+
+	eng := sim.New()
+	full := Replay(eng, mk(eng), tr)
+
+	// The explicit 2 µs span matches how production captures sample (fig6s,
+	// messperf): enough latencies per window for queue steady state, many
+	// windows per phase so the clusters keep the speedup high.
+	res, err := Sampled(mk, tr, SampleConfig{Span: 2 * sim.Microsecond, BankRow: mapper.BankRow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.DivergencePct(full); d > 5 {
+		t.Fatalf("sampled estimate diverges %.2f%% from full replay\nfull    %+v\nsampled %+v",
+			d, full, res.Estimate)
+	}
+	if !res.WithinErrorBars(full, 0.03) {
+		t.Errorf("full replay outside error bars:\nfull    %+v\nsampled %+v ± (%.3f GB/s, %.2f ns)",
+			full, res.Estimate, res.BWErrGBs, res.LatErrNs)
+	}
+	if res.SpeedupX < 5 {
+		t.Errorf("speedup %.1fx < 5x (replayed %d of %d records)",
+			res.SpeedupX, res.ReplayedRecords, res.TotalRecords)
+	}
+	if res.Estimate.Reads == 0 || res.Estimate.ReadRatio != tr.ReadRatio() {
+		t.Errorf("estimate bookkeeping wrong: %+v", res.Estimate)
+	}
+}
+
+// TestSampledDeterministic pins the reproducibility contract: same trace,
+// same config → byte-identical result, run to run — clustering, window
+// selection and all estimates included.
+func TestSampledDeterministic(t *testing.T) {
+	tr := phaseTrace(12000)
+	mk, mapper := ddr4Factory()
+	cfg := SampleConfig{Windows: 64, Clusters: 4, BankRow: mapper.BankRow}
+
+	a, err := Sampled(mk, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sampled(mk, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sampled replay not deterministic:\nrun 1 %+v\nrun 2 %+v", a, b)
+	}
+}
+
+// TestSampledClustersSeparatePhases checks the clustering actually tells
+// the synthetic phases apart: with k = phase count, windows from different
+// phases must not all collapse into one cluster, and every non-empty
+// window must be assigned.
+func TestSampledClustersSeparatePhases(t *testing.T) {
+	tr := phaseTrace(18000)
+	mk, mapper := ddr4Factory()
+	res, err := Sampled(mk, tr, SampleConfig{Windows: 54, Clusters: 3, BankRow: mapper.BankRow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]int{}
+	for _, w := range res.Windows {
+		if w.End > w.Start {
+			if w.Cluster < 0 {
+				t.Fatalf("non-empty window %d..%d unassigned", w.Start, w.End)
+			}
+			used[w.Cluster]++
+		}
+	}
+	if len(used) < 2 {
+		t.Fatalf("clustering collapsed %d phases into %d cluster(s)", 3, len(used))
+	}
+	var weight float64
+	for i := range res.Clusters {
+		weight += res.Clusters[i].Weight
+	}
+	if weight < 0.99 || weight > 1.01 {
+		t.Fatalf("cluster weights sum to %.3f, want 1", weight)
+	}
+}
+
+// TestSampledEdgeCases covers the degenerate inputs: empty traces, traces
+// smaller than the window count, and non-monotonic traces (rejected — the
+// windowing math assumes time order).
+func TestSampledEdgeCases(t *testing.T) {
+	mk, _ := ddr4Factory()
+
+	res, err := Sampled(mk, &Trace{}, SampleConfig{})
+	if err != nil || res.TotalRecords != 0 {
+		t.Fatalf("empty trace: res %+v err %v", res, err)
+	}
+
+	tiny := sampleTrace(10)
+	res, err = Sampled(mk, tiny, SampleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.BWGBs <= 0 {
+		t.Fatalf("tiny trace produced no estimate: %+v", res)
+	}
+
+	bad := &Trace{Records: []Record{
+		{At: 100, Addr: 0x40}, {At: 50, Addr: 0x80},
+	}}
+	if _, err := Sampled(mk, bad, SampleConfig{}); err == nil {
+		t.Fatal("non-monotonic trace accepted")
+	}
+}
+
+// TestKMeansDeterministicAndComplete pins the clustering primitive: every
+// point assigned, k centers produced, repeated runs identical.
+func TestKMeansDeterministic(t *testing.T) {
+	rng := splitmix64(7)
+	vecs := make([][nFeat]float64, 100)
+	for i := range vecs {
+		for d := 0; d < nFeat; d++ {
+			vecs[i][d] = rng.float()
+		}
+	}
+	normalize(vecs)
+	a1, c1 := kmeans(vecs, 5, 48)
+	a2, c2 := kmeans(vecs, 5, 48)
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(c1, c2) {
+		t.Fatal("kmeans not deterministic")
+	}
+	if len(c1) != 5 {
+		t.Fatalf("got %d centers, want 5", len(c1))
+	}
+	for i, a := range a1 {
+		if a < 0 || a >= 5 {
+			t.Fatalf("point %d assigned to cluster %d", i, a)
+		}
+	}
+}

@@ -86,18 +86,140 @@ type ReplayResult struct {
 	Reads     uint64
 }
 
+// ReplayWindow bounds how many trace records hold a live engine event at
+// once during replay. The window is a memory bound, not a semantic one:
+// completion timing is bit-identical to scheduling the whole trace up
+// front (see replayWindowed), but a million-record trace holds thousands,
+// not millions, of pending events and pooled requests.
+const ReplayWindow = 4096
+
 // Replay drives the backend with the trace's own timing (arrival gaps
 // encode the non-memory work, as DRAMsim3 trace formats do) and measures
 // the achieved bandwidth and mean read latency. Requests come from a
-// replay-local pool, acquired at schedule time and delivered via their own
-// timed hand-off: one record per trace record (as before the pool, which
-// each record's issue closure allocated anyway) but zero per-record
-// closures — a single shared completion callback reads the issue time off
-// the request.
+// replay-local pool and are delivered through a bounded in-flight
+// scheduling window: at most ReplayWindow records are scheduled ahead of
+// the clock, each firing record feeds the next into the engine, and a
+// single shared completion callback reads the issue time off the request —
+// zero per-record closures, O(window) instead of O(trace) live events.
+// Traces whose timestamps are not non-decreasing (Read rejects them, but a
+// Trace built in memory can be anything) fall back to eager scheduling,
+// whose semantics the window reproduces only for time-ordered records.
 func Replay(eng *sim.Engine, backend mem.Backend, t *Trace) ReplayResult {
 	if len(t.Records) == 0 {
 		return ReplayResult{}
 	}
+	if monotonic(t.Records) {
+		return replayWindowed(eng, backend, t, ReplayWindow)
+	}
+	return replayEager(eng, backend, t)
+}
+
+// monotonic reports whether the records' timestamps are non-decreasing.
+func monotonic(recs []Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			return false
+		}
+	}
+	return true
+}
+
+// replayKey is the tie-break key (sim.Engine's "schedule instant"
+// coordinate) carried by every replayed record's delivery event. Eager
+// replay schedules all records before the run, so each record event holds
+// key 0 and a seq below every event the backend will ever schedule: at
+// equal deadlines, records fire first, in record order. A window schedules
+// records mid-run, where the engine would stamp them with the current
+// clock and a late seq — so the window injects them with key −1 instead,
+// which wins every deadline tie against backend events (whose keys are
+// real schedule instants ≥ 0) while record-vs-record ties keep record
+// order via seq (the window always schedules records in index order).
+// Both invariants together make the windowed firing sequence — and hence
+// all completion timing — bit-identical to the eager one.
+const replayKey = sim.Time(-1)
+
+// replayer drives one bounded-window replay: a single shared fire
+// callback delivers the next record (firing order equals record order for
+// time-sorted records) and tops the window back up.
+type replayer struct {
+	eng     *sim.Engine
+	backend mem.Backend
+	recs    []Record
+	base    sim.Time
+	pool    *mem.RequestPool
+	next    int // next record index to schedule
+	deliver int // next record index to deliver
+
+	measureFrom int // records at or past this index count toward stats
+	latSum      sim.Time
+	reads       uint64
+	lastDone    sim.Time // latest measured read completion instant
+
+	fire     func(sim.Time)
+	readDone mem.DoneFunc
+}
+
+func (rp *replayer) step(at sim.Time) {
+	// Top up before delivering: the next record's event must take its seq
+	// before the backend schedules anything in response to this delivery.
+	if rp.next < len(rp.recs) {
+		rp.eng.ScheduleTimedSent(rp.recs[rp.next].At-rp.base, replayKey, 0, rp.fire)
+		rp.next++
+	}
+	rec := &rp.recs[rp.deliver]
+	op := mem.Read
+	var done mem.DoneFunc
+	if rec.Write {
+		op = mem.Write
+	} else {
+		done = rp.readDone
+	}
+	req := rp.pool.Get(rec.Addr, op, done)
+	if rp.deliver >= rp.measureFrom {
+		req.Ctx = 1
+	}
+	rp.deliver++
+	req.Issued = at
+	rp.backend.Access(req)
+}
+
+// run replays recs[0:] (time-sorted), counting read latency only for
+// records at index ≥ measureFrom, and returns after the engine drains.
+func (rp *replayer) run(window int) {
+	rp.fire = rp.step
+	rp.readDone = func(done sim.Time, req *mem.Request) {
+		if req.Ctx != 0 {
+			rp.latSum += done - req.Issued
+			rp.reads++
+			if done > rp.lastDone {
+				rp.lastDone = done
+			}
+		}
+	}
+	n := window
+	if n > len(rp.recs) {
+		n = len(rp.recs)
+	}
+	for i := 0; i < n; i++ {
+		rp.eng.ScheduleTimedSent(rp.recs[i].At-rp.base, replayKey, 0, rp.fire)
+	}
+	rp.next = n
+	rp.eng.Run()
+}
+
+func replayWindowed(eng *sim.Engine, backend mem.Backend, t *Trace, window int) ReplayResult {
+	rp := &replayer{
+		eng: eng, backend: backend, recs: t.Records,
+		base: t.Records[0].At, pool: mem.NewRequestPool(),
+	}
+	rp.run(window)
+	return replayResult(t, eng.Now(), rp.latSum, rp.reads)
+}
+
+// replayEager schedules one delivery event per record before running —
+// the historical Replay, kept for traces without time order (the window's
+// sequential delivery assumes firing order equals record order).
+func replayEager(eng *sim.Engine, backend mem.Backend, t *Trace) ReplayResult {
 	base := t.Records[0].At
 	pool := mem.NewRequestPool()
 	var latSum sim.Time
@@ -119,10 +241,13 @@ func Replay(eng *sim.Engine, backend mem.Backend, t *Trace) ReplayResult {
 		req.SendAt(eng, backend, r.At-base)
 	}
 	eng.Run()
+	return replayResult(t, eng.Now(), latSum, reads)
+}
+
+func replayResult(t *Trace, end, latSum sim.Time, reads uint64) ReplayResult {
 	res := ReplayResult{ReadRatio: t.ReadRatio(), Reads: reads}
-	dur := eng.Now()
-	if dur > 0 {
-		res.BWGBs = float64(t.Bytes()) / dur.Seconds() / 1e9
+	if end > 0 {
+		res.BWGBs = float64(t.Bytes()) / end.Seconds() / 1e9
 	}
 	if reads > 0 {
 		res.ReadLatNs = (latSum / sim.Time(reads)).Nanoseconds()
@@ -145,12 +270,17 @@ func (t *Trace) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a trace written by Save.
+// Read parses a trace written by Save. Timestamps must be non-decreasing:
+// an out-of-order record would silently corrupt Duration and replay pacing
+// (the replay window delivers records in index order and assumes that is
+// also time order), so Read rejects it with the offending line number
+// instead of deferring the breakage to analysis time.
 func Read(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
+	var prevAt sim.Time
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -165,6 +295,11 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad time: %w", lineNo, err)
 		}
+		if len(t.Records) > 0 && sim.Time(at) < prevAt {
+			return nil, fmt.Errorf("trace: line %d: non-monotonic timestamp %d (previous record at %d)",
+				lineNo, at, int64(prevAt))
+		}
+		prevAt = sim.Time(at)
 		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad address: %w", lineNo, err)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/mess-sim/mess/internal/dram"
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/sim"
 )
@@ -118,25 +119,40 @@ func TestSaveReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveReadProperty round-trips randomized traces through the text
+// format, with comment and blank lines injected between records (the
+// format allows both) — the parsed records must come back exactly, in
+// order, regardless.
 func TestSaveReadProperty(t *testing.T) {
-	prop := func(ats []uint32, addrs []uint16) bool {
-		n := len(ats)
+	prop := func(gaps []uint16, addrs []uint16, noise []bool) bool {
+		n := len(gaps)
 		if len(addrs) < n {
 			n = len(addrs)
 		}
 		tr := &Trace{}
+		at := sim.Time(0)
 		for i := 0; i < n; i++ {
+			at += sim.Time(gaps[i]) // non-decreasing by construction
 			tr.Records = append(tr.Records, Record{
-				At:    sim.Time(ats[i]),
+				At:    at,
 				Addr:  uint64(addrs[i]) * 64,
-				Write: ats[i]%2 == 0,
+				Write: gaps[i]%2 == 0,
 			})
 		}
 		var buf bytes.Buffer
 		if err := tr.Save(&buf); err != nil {
 			return false
 		}
-		got, err := Read(&buf)
+		// Inject comments and blank lines between records: the format
+		// must skip them without disturbing the record stream.
+		var noisy bytes.Buffer
+		for i, line := range strings.SplitAfter(buf.String(), "\n") {
+			if i < len(noise) && noise[i] {
+				noisy.WriteString("# injected comment\n\n   \n")
+			}
+			noisy.WriteString(line)
+		}
+		got, err := Read(&noisy)
 		if err != nil {
 			return false
 		}
@@ -150,7 +166,7 @@ func TestSaveReadProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -166,6 +182,173 @@ func TestReadRejectsMalformed(t *testing.T) {
 			t.Errorf("malformed line %q accepted", strings.TrimSpace(bad))
 		}
 	}
+}
+
+// TestReadRejectsNonMonotonic pins the load-time ordering validation: a
+// record stream that goes backwards in time is rejected with the offending
+// line number instead of silently breaking Duration and replay pacing.
+func TestReadRejectsNonMonotonic(t *testing.T) {
+	in := "# header\n10 0x40 R\n20 0x80 W\n\n15 0xc0 R\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("non-monotonic trace accepted")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+	if !strings.Contains(err.Error(), "non-monotonic") {
+		t.Fatalf("error does not explain the failure: %v", err)
+	}
+	// Equal timestamps are fine (several records can arrive in one cycle).
+	if _, err := Read(strings.NewReader("10 0x40 R\n10 0x80 W\n")); err != nil {
+		t.Fatalf("equal timestamps rejected: %v", err)
+	}
+}
+
+// recordingBackend wraps a backend and logs every completion instant, for
+// bit-exact comparison of replay scheduling strategies.
+type recordingBackend struct {
+	inner mem.Backend
+	log   []completion
+}
+
+type completion struct {
+	addr uint64
+	at   sim.Time
+}
+
+func (r *recordingBackend) Access(req *mem.Request) {
+	prev := req.Done
+	addr := req.Addr
+	req.Done = func(at sim.Time, rq *mem.Request) {
+		r.log = append(r.log, completion{addr: addr, at: at})
+		if prev != nil {
+			prev(at, rq)
+		}
+	}
+	r.inner.Access(req)
+}
+
+// TestWindowedReplayBitIdentical pins the bounded-window scheduler's
+// contract: for a time-ordered trace, replaying through a window far
+// smaller than the trace produces the same results — and the same
+// completion sequence, instant by instant — as eagerly scheduling every
+// record up front. The trace is adversarial: duplicated timestamps (record
+// ties) and arrival gaps equal to the echo latency (arrival/completion
+// deadline collisions, where only the tie-break key keeps order).
+func TestWindowedReplayBitIdentical(t *testing.T) {
+	tr := &Trace{}
+	at := sim.Time(0)
+	for i := 0; i < 3000; i++ {
+		switch i % 5 {
+		case 0: // burst: three records in one instant
+		case 2:
+			at += 25 * sim.Nanosecond // exactly the echo latency
+		default:
+			at += sim.Time(i%7) * sim.Nanosecond
+		}
+		tr.Records = append(tr.Records, Record{
+			At:    at,
+			Addr:  uint64(i%257) * 64,
+			Write: i%3 == 0,
+		})
+	}
+
+	run := func(windowed bool) (ReplayResult, []completion) {
+		eng := sim.New()
+		rec := &recordingBackend{inner: &echoBackend{eng: eng, lat: 25 * sim.Nanosecond}}
+		var res ReplayResult
+		if windowed {
+			res = replayWindowed(eng, rec, tr, 8)
+		} else {
+			res = replayEager(eng, rec, tr)
+		}
+		return res, rec.log
+	}
+	eagerRes, eagerLog := run(false)
+	windRes, windLog := run(true)
+
+	if eagerRes != windRes {
+		t.Fatalf("results diverge:\neager    %+v\nwindowed %+v", eagerRes, windRes)
+	}
+	if len(eagerLog) != len(windLog) {
+		t.Fatalf("completion counts diverge: %d vs %d", len(eagerLog), len(windLog))
+	}
+	for i := range eagerLog {
+		if eagerLog[i] != windLog[i] {
+			t.Fatalf("completion %d diverges: eager %+v windowed %+v", i, eagerLog[i], windLog[i])
+		}
+	}
+}
+
+// TestWindowedReplayBitIdenticalDRAM repeats the equivalence check against
+// the detailed DRAM system — tagged channel events, decide fusion and
+// scheduled completions are the event regime real replays run in.
+func TestWindowedReplayBitIdenticalDRAM(t *testing.T) {
+	cfg := dram.DDR4(3200, 2, 2)
+	tr := &Trace{}
+	at := sim.Time(0)
+	for i := 0; i < 4000; i++ {
+		if i%3 != 0 {
+			at += sim.Time(i%5) * sim.Nanosecond
+		}
+		tr.Records = append(tr.Records, Record{
+			At:    at,
+			Addr:  uint64((i*7919)%4096) * 64,
+			Write: i%4 == 0,
+		})
+	}
+	run := func(windowed bool) (ReplayResult, []completion) {
+		eng := sim.New()
+		rec := &recordingBackend{inner: dram.New(eng, cfg)}
+		var res ReplayResult
+		if windowed {
+			res = replayWindowed(eng, rec, tr, 16)
+		} else {
+			res = replayEager(eng, rec, tr)
+		}
+		return res, rec.log
+	}
+	eagerRes, eagerLog := run(false)
+	windRes, windLog := run(true)
+	if eagerRes != windRes {
+		t.Fatalf("results diverge:\neager    %+v\nwindowed %+v", eagerRes, windRes)
+	}
+	for i := range eagerLog {
+		if eagerLog[i] != windLog[i] {
+			t.Fatalf("completion %d diverges: eager %+v windowed %+v", i, eagerLog[i], windLog[i])
+		}
+	}
+}
+
+// TestReplayWindowBoundsLiveEvents asserts the point of the window: the
+// engine never holds more than window + in-flight events, independent of
+// trace length.
+func TestReplayWindowBoundsLiveEvents(t *testing.T) {
+	tr := sampleTrace(50000)
+	eng := sim.New()
+	max := 0
+	probe := &probeBackend{eng: eng, lat: 10 * sim.Nanosecond, max: &max}
+	replayWindowed(eng, probe, tr, 64)
+	// 64 scheduled arrivals + the probe's own completions (≤ a handful in
+	// flight at this pacing); anything near the trace length means the
+	// window is not bounding.
+	if max > 200 {
+		t.Fatalf("replay held %d live events with a 64-record window", max)
+	}
+}
+
+type probeBackend struct {
+	eng *sim.Engine
+	lat sim.Time
+	max *int
+}
+
+func (p *probeBackend) Access(req *mem.Request) {
+	if n := p.eng.Pending(); n > *p.max {
+		*p.max = n
+	}
+	req.CompleteAt(p.eng, p.eng.Now()+p.lat)
 }
 
 func TestEmptyTraceReplay(t *testing.T) {

@@ -254,3 +254,65 @@ func TestUnloadedLatencyFacade(t *testing.T) {
 		t.Fatalf("unloaded latency %.0f ns out of calibration", lat)
 	}
 }
+
+// TestTraceReplayFacade drives the trace pipeline exactly as an external
+// user would: capture from a running engine, round-trip through the text
+// format, full replay, then sampled replay with divergence inside the
+// reported error bars.
+func TestTraceReplayFacade(t *testing.T) {
+	spec := mess.Skylake()
+	spec.Cores = 2
+	spec.DRAM.Channels = 2
+
+	// Build a synthetic trace through the public types. The arrival rate
+	// stays below what the backend sustains — the sampling contract covers
+	// quasi-stationary traffic, as captured closed-loop traces are.
+	tr := &mess.Trace{}
+	var at mess.SimTime
+	for i := 0; i < 20000; i++ {
+		if i%4 != 0 {
+			at += mess.SimTime(10000 + (i%3)*4000) // 10–18 ns gaps
+		}
+		tr.Records = append(tr.Records, mess.TraceRecord{
+			At:    at,
+			Addr:  uint64((i*131)%65536) * 64,
+			Write: i%5 == 0,
+		})
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mess.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got.Records), len(tr.Records))
+	}
+
+	mk := func(eng *mess.Engine) mess.MemBackend {
+		m, err := mess.NewMemoryModel(mess.ModelReference, eng, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	eng := mess.NewEngine()
+	full := mess.ReplayTrace(eng, mk(eng), got)
+	if full.Reads == 0 || full.BWGBs <= 0 {
+		t.Fatalf("full replay produced %+v", full)
+	}
+
+	sam, err := mess.SampledReplayTrace(mk, spec, got, mess.TraceSampleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sam.DivergencePct(full); d > 5 {
+		t.Errorf("sampled divergence %.1f%% > 5%%: full %+v sampled %+v", d, full, sam.Estimate)
+	}
+	if sam.SpeedupX < 2 {
+		t.Errorf("speedup %.1f×, sampling saved no work", sam.SpeedupX)
+	}
+}
