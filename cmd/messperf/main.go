@@ -29,6 +29,19 @@
 //     divergence_pct and speedup_x — deterministic accuracy numbers that
 //     -max-divergence and -min-speedup turn into hard gates (CI runs with
 //     -max-divergence 5 -min-speedup 5); -skip-replay disables the pair.
+//     Since v5 the sharded rows gain an in-run A/B against the PR-6 global
+//     barrier (model/dram_sharded_global couples every shard through the
+//     group-wide minimum window, exactly what the barrier did before
+//     per-pair lookahead horizons), device-shard rows for the CXL expander
+//     (model/cxl vs model/cxl_sharded), a second sharded sweep point on
+//     the 8-channel Graviton 3 model (framework/fig4_point{,_sharded}),
+//     and barrier statistics (windows, avg_window_ns, parks) on every
+//     sharded row.
+//
+// With -cpuprofile/-memprofile, messperf writes pprof profiles covering
+// exactly the measured region (every benchmark, none of the report or
+// gate machinery) — the intended way to hunt barrier or kernel hot spots
+// on a machine where a row regressed.
 //
 // With -best-of N, every measurement is taken N times and only the best
 // sample (highest events/sec; lowest wall-clock for wall-only rows) is
@@ -65,13 +78,17 @@ import (
 	"strings"
 	"time"
 
+	"runtime/pprof"
+
 	"github.com/mess-sim/mess"
 	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/cli"
+	"github.com/mess-sim/mess/internal/cxl"
 	"github.com/mess-sim/mess/internal/dram"
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/memmodel"
 	"github.com/mess-sim/mess/internal/perfload"
+	"github.com/mess-sim/mess/internal/platform"
 	"github.com/mess-sim/mess/internal/sim"
 	"github.com/mess-sim/mess/internal/trace"
 )
@@ -81,8 +98,13 @@ import (
 // (model/dram_sharded, framework/fig2_quick_sharded, framework/fig2_point,
 // framework/fig2_point_sharded) and per-result gomaxprocs; v4 added the
 // trace-replay pair (framework/fig6_replay, framework/fig6_replay_sampled)
-// with the sampled row's divergence_pct and speedup_x accuracy fields.
-const Schema = "mess-perf/v4"
+// with the sampled row's divergence_pct and speedup_x accuracy fields; v5
+// added the global-coupling A/B row (model/dram_sharded_global), the CXL
+// device-shard pair (model/cxl, model/cxl_sharded), the Graviton 3 sweep
+// point pair (framework/fig4_point, framework/fig4_point_sharded) and the
+// barrier-statistics fields (windows, avg_window_ns, parks) on sharded
+// rows.
+const Schema = "mess-perf/v5"
 
 // Result is one measured quantity of the suite. AllocsPerOp follows the
 // `go test -benchmem` convention (total mallocs / ops, truncated): the
@@ -100,6 +122,15 @@ type Result struct {
 	// GOMAXPROCS is set on rows whose wall-clock depends on host
 	// parallelism (the sharded-execution rows); zero elsewhere.
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// Windows, AvgWindowNs and Parks are set on sharded rows: conservative
+	// windows the barrier executed, the mean home-shard window width, and
+	// how often a waiting party escalated past spinning and yielding to a
+	// blocking park. They contextualize the wall-clock columns — a sharded
+	// row that got slower with the same window count parked more (host
+	// contention), one whose windows shrank hit a tighter lookahead path.
+	Windows     uint64  `json:"windows,omitempty"`
+	AvgWindowNs float64 `json:"avg_window_ns,omitempty"`
+	Parks       uint64  `json:"parks,omitempty"`
 	// DivergencePct and SpeedupX are set on the sampled-replay row only:
 	// the reconstruction's worst-case bandwidth/latency deviation from the
 	// full replay of the same trace, and the record-count reduction the
@@ -200,6 +231,15 @@ func gate(fresh Report, baselinePath string, maxDrop float64) error {
 		if !ok {
 			continue // new benchmark: no trajectory yet
 		}
+		if r.GOMAXPROCS != was.GOMAXPROCS {
+			// Rows that record their gomaxprocs (the sharded ones) are
+			// only comparable between runs at the same parallelism: a
+			// 2-vCPU runner gating against a 16-vCPU baseline would read
+			// host topology as a code regression. Skip, don't fail.
+			fmt.Printf("gate %-28s skipped: gomaxprocs %d (fresh) vs %d (baseline), not comparable\n",
+				r.Name, r.GOMAXPROCS, was.GOMAXPROCS)
+			continue
+		}
 		if strings.HasPrefix(r.Name, "kernel/") && r.EventsPerSec > 0 && was.EventsPerSec > 0 {
 			drop := 1 - r.EventsPerSec/was.EventsPerSec
 			status := "ok"
@@ -239,6 +279,8 @@ func main() {
 		skipReplay   = flag.Bool("skip-replay", false, "skip the fig6 trace-replay rows")
 		maxDiverge   = flag.Float64("max-divergence", 0, "fail when the sampled replay diverges from the full replay by more than this percentage (0 = no gate)")
 		minSpeedup   = flag.Float64("min-speedup", 0, "fail when the sampled replay's record-count speedup is below this factor (0 = no gate)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the measured region here")
+		memProfile   = flag.String("memprofile", "", "write a heap profile taken at the end of the measured region here")
 	)
 	flag.Parse()
 
@@ -296,6 +338,20 @@ func main() {
 			fmt.Printf("%-28s %49s %10.1f ms\n", r.Name, "", r.WallMs)
 		}
 	}
+	// The profile window covers exactly the measurements: it opens here,
+	// after flag handling and report setup, and closes (below) before the
+	// report is marshalled and the gates run, so kernel and barrier hot
+	// spots are not diluted by artifact bookkeeping.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			cli.Fatal(err)
+		}
+	}
 	kernel := func(name string, load func(*mess.Engine, int)) {
 		add(best(func() Result {
 			eng := mess.NewEngine()
@@ -334,28 +390,79 @@ func main() {
 	modelBest("model/dram_random", perfload.PatternRandom, mkReference)
 	modelBest("model/dram_mixed", perfload.PatternMixed, mkReference)
 
+	// shardStats folds the group's barrier statistics into a sharded row;
+	// every sharded row also records its gomaxprocs, since neither its
+	// wall-clock nor its park count means anything without it.
+	shardStats := func(r Result, group *mess.ShardGroup) Result {
+		s := group.Stats()
+		r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		r.Windows = s.Windows
+		r.AvgWindowNs = s.AvgWindow.Nanoseconds()
+		r.Parks = s.Parks
+		return r
+	}
+
 	// The sharded counterpart of model/dram_reference: the same detailed
 	// DRAM system with channels spread over concurrently advancing shard
 	// engines, driven through the timed hand-off (the cross-shard hop is
 	// the home shard's lookahead). Results are byte-identical to the
-	// single-engine row; the measurement is the wall-clock win.
+	// single-engine row; the measurement is the wall-clock win. The
+	// _global variant runs the identical simulation with the group coupled
+	// through the PR-6 group-wide minimum window instead of per-pair
+	// horizons — the in-run A/B that prices the barrier change itself,
+	// immune to runner drift.
 	if full := mess.Skylake(); shardsFor(full.DRAM.Channels) >= 2 {
 		n := shardsFor(full.DRAM.Channels)
 		hop := full.CacheConfig().OnChipLatency / 2
+		shardedDRAM := func(name string, global bool) {
+			add(best(func() Result {
+				group := mess.NewShardGroup(n)
+				defer group.Close()
+				group.SetGlobalCoupling(global)
+				backend := dram.NewSharded(group, full.DRAM, 0)
+				drv := perfload.NewShardedClosedLoop(group, backend, hop, perfload.PatternReference)
+				warm := *modelEvents / 4
+				if warm > 50_000 {
+					warm = 50_000
+				}
+				drv.Run(warm)
+				return shardStats(measure(name, *modelEvents, func() { drv.Run(*modelEvents) }), group)
+			}))
+		}
+		shardedDRAM("model/dram_sharded", false)
+		shardedDRAM("model/dram_sharded_global", true)
+	}
+
+	// The CXL expander under the same closed loop: unsharded (TimedOn
+	// carries the host hop on the device's own engine) vs the device on
+	// its own shard. The device's 70 ns propagation is the shard's
+	// outbound lookahead — windows far wider than the DRAM channels get
+	// from burst-quantum coupling, so this pair isolates what the barrier
+	// costs when the model itself is cheap.
+	{
+		ccfg := cxl.Default()
+		chop := mess.Skylake().CacheConfig().OnChipLatency / 2
+		warm := *modelEvents / 4
+		if warm > 50_000 {
+			warm = 50_000
+		}
 		add(best(func() Result {
-			group := mess.NewShardGroup(n)
-			defer group.Close()
-			backend := dram.NewSharded(group, full.DRAM, 0)
-			drv := perfload.NewShardedClosedLoop(group, backend, hop, perfload.PatternReference)
-			warm := *modelEvents / 4
-			if warm > 50_000 {
-				warm = 50_000
-			}
+			eng := mess.NewEngine()
+			dev := cxl.New(eng, ccfg)
+			drv := perfload.NewTimedClosedLoop(eng, &mem.TimedOn{Eng: eng, Inner: dev}, chop, perfload.PatternReference)
 			drv.Run(warm)
-			r := measure("model/dram_sharded", *modelEvents, func() { drv.Run(*modelEvents) })
-			r.GOMAXPROCS = runtime.GOMAXPROCS(0)
-			return r
+			return measure("model/cxl", *modelEvents, func() { drv.Run(*modelEvents) })
 		}))
+		if shardsFor(1) >= 2 {
+			add(best(func() Result {
+				group := mess.NewShardGroup(2)
+				defer group.Close()
+				sh, _ := cxl.NewShardedExpander(group, 0, 1, ccfg, chop)
+				drv := perfload.NewShardedClosedLoop(group, sh, chop, perfload.PatternReference)
+				drv.Run(warm)
+				return shardStats(measure("model/cxl_sharded", *modelEvents, func() { drv.Run(*modelEvents) }), group)
+			}))
+		}
 	}
 
 	// The Mess analytical simulator needs a curve family; its production is
@@ -435,6 +542,34 @@ func main() {
 		}))
 	}
 
+	// The same A/B on the 8-channel gem5 Graviton 3 model (cores scaled
+	// down so the point stays Quick-sized): with 8 channel shards the
+	// per-pair horizons have the most coupling to avoid — channels never
+	// talk to each other, so only the 2(n−1) home edges constrain the
+	// windows, where the PR-6 global minimum coupled all n(n−1).
+	fig4 := platform.Gem5Graviton3()
+	fig4.Cores = 12
+	add(best(func() Result {
+		return measure("framework/fig4_point", 0, func() {
+			if _, err := bench.MeasurePoint(fig4, popt, bench.Mix{}, 0); err != nil {
+				cli.Fatal(err)
+			}
+		})
+	}))
+	if n := shardsFor(fig4.DRAM.Channels); n >= 2 {
+		sopt := popt
+		sopt.Shards = n
+		add(best(func() Result {
+			r := measure("framework/fig4_point_sharded", 0, func() {
+				if _, err := bench.MeasurePoint(fig4, sopt, bench.Mix{}, 0); err != nil {
+					cli.Fatal(err)
+				}
+			})
+			r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+			return r
+		}))
+	}
+
 	// The fig6-class trace-replay pair: one mid-pressure trace (40% stores,
 	// 16 ns pacing) is captured once on the same Quick-scaled Skylake, then
 	// replayed in full (framework/fig6_replay) and through the
@@ -487,6 +622,25 @@ func main() {
 			r.SpeedupX = sam.SpeedupX
 			return r
 		}))
+	}
+
+	// End of the measured region: stop the CPU profile and snapshot the
+	// heap before any report or gate work allocates on top of it.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("wrote %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		runtime.GC() // settle accumulators so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			cli.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memProfile)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -41,6 +41,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
+		shards   = flag.Int("shards", 1, "engines per measurement point for the reference characterization (≥2 shards the DRAM channels; execution-only, results are byte-identical)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 	if *full {
 		opt = bench.Options{}
 	}
+	opt.Shards = *shards
 
 	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("reference characterization of %s ...\n", spec.Name)

@@ -64,6 +64,15 @@ type Options struct {
 	// Backend overrides the memory system under test; nil uses the
 	// platform's detailed DRAM model.
 	Backend mem.BackendFactory
+	// ShardedBackend is the sharded counterpart of Backend: it builds the
+	// backend on the group (devices on non-home shards, declaring their
+	// lookahead edges) and is used instead of Backend whenever a point
+	// runs sharded. Setting it alongside Backend lets a custom backend —
+	// a CXL expander, say — ride the shard group the way the detailed
+	// DRAM system does; results must be byte-identical to the Backend
+	// path (the CXL-sharded determinism leg enforces it), so it is
+	// execution-only and cleared by Normalized.
+	ShardedBackend func(group *sim.ShardGroup) mem.TimedBackend
 	// Cache overrides the platform's derived cache configuration — used
 	// for failure injection (e.g. the OpenPiton clean-eviction bug).
 	Cache *cache.Config
@@ -130,6 +139,7 @@ func (o Options) Normalized() Options {
 	out := o.withDefaults()
 	out.Parallelism = 0
 	out.Backend = nil
+	out.ShardedBackend = nil
 	// Sharding is an execution strategy: a sharded and an unsharded run of
 	// the same sweep produce byte-identical families (the determinism test
 	// enforces it), so both may share one cache entry.
@@ -276,7 +286,10 @@ func MeasureUnloaded(spec platform.Spec, opt Options) (float64, error) {
 // on-chip hop (it becomes the home shard's lookahead), and never more
 // channel shards than the platform has channels.
 func (o *Options) shardCount(spec platform.Spec) int {
-	if o.Shards < 2 || o.NoShard || o.Backend != nil {
+	if o.Shards < 2 || o.NoShard {
+		return 1
+	}
+	if o.Backend != nil && o.ShardedBackend == nil {
 		return 1
 	}
 	ccfg := spec.CacheConfig()
@@ -287,8 +300,13 @@ func (o *Options) shardCount(spec platform.Spec) int {
 		return 1
 	}
 	n := o.Shards
-	if m := spec.DRAM.Channels + 1; n > m {
-		n = m
+	if o.ShardedBackend == nil {
+		// Detailed-DRAM sharding: never more channel shards than the
+		// platform has channels. A custom sharded backend owns its own
+		// device placement, so the cap does not apply.
+		if m := spec.DRAM.Channels + 1; n > m {
+			n = m
+		}
 	}
 	if n < 2 {
 		return 1
@@ -305,6 +323,8 @@ func (o *Options) shardCount(spec platform.Spec) int {
 func measureWith(eng *sim.Engine, group *sim.ShardGroup, spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
 	var backend mem.Backend
 	switch {
+	case group != nil && o.ShardedBackend != nil:
+		backend = o.ShardedBackend(group)
 	case o.Backend != nil:
 		backend = o.Backend(eng)
 	case group != nil:
@@ -320,8 +340,12 @@ func measureWith(eng *sim.Engine, group *sim.ShardGroup, spec platform.Spec, o O
 	hier := cache.New(eng, ccfg, counting)
 	if group != nil {
 		// The cache's outbound hop is the minimum flight time of every
-		// home→channel delivery, i.e. the home shard's lookahead.
-		group.SetLookahead(0, hier.Config().OnChipLatency/2)
+		// home→channel delivery, i.e. the home shard's outbound edge to
+		// each device shard. Tighten rather than set: a sharded backend
+		// factory may already have declared a smaller hop for its shard.
+		for sh := 1; sh < group.Shards(); sh++ {
+			group.TightenLookahead(0, sh, hier.Config().OnChipLatency/2)
+		}
 	}
 
 	// Pointer chaser on core 0, in its own address region.

@@ -32,11 +32,13 @@ type Key = curvestore.Key
 // identity must instead be carried by Request.Tag.
 func Fingerprint(req Request) Key {
 	h := sha256.New()
-	// v2: measurement semantics changed — cores hand requests to the
-	// memory system at the send instant (timed hand-off, counted at send)
-	// and equal-instant event ties order by entity tag — so v1 curves in
-	// shared stores must not satisfy v2 requests.
-	fmt.Fprintf(h, "charz/v2\ntag=%q\nhasBackend=%t\n", req.Tag, req.Options.Backend != nil)
+	// v3: device models (CXL expander, remote socket, Optane) now commit
+	// completions as tagged entities (DevTagBase) instead of untagged
+	// CompleteAt, so exact equal-instant ties against other events can
+	// resolve differently than v2 for backends that include a device —
+	// v2 curves in shared stores must not satisfy v3 requests.
+	// (v2: timed hand-off counted at send; entity-tag tie order.)
+	fmt.Fprintf(h, "charz/v3\ntag=%q\nhasBackend=%t\n", req.Tag, req.Options.Backend != nil)
 	writeSpec(h, req.Spec)
 	writeOptions(h, req.Options.Normalized())
 	var k Key

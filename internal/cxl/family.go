@@ -92,12 +92,16 @@ func MeasureFamily(makeBackend mem.BackendFactory, label string, theoreticalGBs 
 			pts = append(pts, core.Point{BW: p.bw, Latency: p.lat})
 			ratioSum += p.ratio
 		}
+		// Average the ratio over the points actually summed, before
+		// SanitizePoints prunes any: dividing by the sanitized count
+		// pushed the ratio outside [0,1] whenever pruning occurred.
+		measured := len(pts)
 		pts = core.SanitizePoints(pts)
 		if len(pts) < 2 {
 			continue
 		}
 		fam.Curves = append(fam.Curves, core.Curve{
-			ReadRatio: ratioSum / float64(len(pts)),
+			ReadRatio: ratioSum / float64(measured),
 			Points:    pts,
 		})
 	}

@@ -1,0 +1,110 @@
+package cxl
+
+import (
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// shardable is the device-side seam every model in this package exposes:
+// a swappable completion hook (the only place a completion instant is
+// committed), the entity tag those completions carry, and the model's
+// decision-to-completion slack — the lower bound on (completion instant −
+// hook call instant) that becomes the device shard's outbound lookahead.
+type shardable interface {
+	mem.Backend
+	setComplete(completeFunc)
+	completionTag() int32
+	MinLookahead() sim.Time
+}
+
+// ShardedDevice puts one device model behind its own shard engine of a
+// sim.ShardGroup — the same mem.TimedBackend seam the DRAM channels
+// crossed in the sharded memory system. Host-side issues cross home→shard
+// with the per-request hop as the delivery delay; completions cross
+// shard→home through the device's completion hook, carrying the device's
+// entity tag and the decision instant, so the home engine fires them
+// exactly where the unsharded run would have (byte-identical completion
+// traces).
+//
+// Device link latencies are large — 70 ns of CXL propagation, 92 ns of
+// inter-socket hop, 94 ns of Optane write acceptance — so a device shard
+// declares a large outbound lookahead and *widens* the group's windows
+// rather than narrowing them; under per-pair horizons it places no bound
+// at all on shards it never talks to.
+type ShardedDevice struct {
+	group *sim.ShardGroup
+	home  int
+	shard int
+	hop   sim.Time
+	dev   shardable
+	xmit  func(at sim.Time, tag int32, fn func(sim.Time)) // home → shard
+}
+
+// newShardedDevice wires an already-built device (living on
+// group.Engine(shard)) into the group: completion hook, entity tag, and
+// both lookahead edges. Components sharing a shard keep the minimum of
+// their declared bounds, so a second device on the same shard can only
+// tighten an edge, never loosen it.
+func newShardedDevice(group *sim.ShardGroup, home, shard int, hop sim.Time, dev shardable) *ShardedDevice {
+	if home == shard || shard < 0 || shard >= group.Shards() || home < 0 || home >= group.Shards() {
+		panic(fmt.Sprintf("cxl: device shard %d / home %d invalid for %d-shard group", shard, home, group.Shards()))
+	}
+	if hop < 1 {
+		panic(fmt.Sprintf("cxl: sharded device needs a positive home→shard hop, got %d", hop))
+	}
+	look := dev.MinLookahead()
+	if look < 1 {
+		panic(fmt.Sprintf("cxl: device MinLookahead %d < 1 admits no conservative window", look))
+	}
+	d := &ShardedDevice{group: group, home: home, shard: shard, hop: hop, dev: dev}
+	d.xmit = func(at sim.Time, tag int32, fn func(sim.Time)) { group.Send(home, shard, at, tag, fn) }
+	homebound := func(at sim.Time, tag int32, fn func(sim.Time)) { group.Send(shard, home, at, tag, fn) }
+	tag := dev.completionTag()
+	dev.setComplete(func(req *mem.Request, at sim.Time) { req.CompleteVia(homebound, at, tag) })
+	group.TightenLookahead(shard, home, look)
+	group.TightenLookahead(home, shard, hop)
+	return d
+}
+
+// NewShardedExpander builds a CXL expander (with its device-side DDR
+// system) on group.Engine(shard) and wires it in. hop is the host-side
+// flight time of every issue — the minimum delivery delay AccessAt must
+// be called with.
+func NewShardedExpander(group *sim.ShardGroup, home, shard int, cfg Config, hop sim.Time) (*ShardedDevice, *Expander) {
+	e := New(group.Engine(shard), cfg)
+	return newShardedDevice(group, home, shard, hop, e), e
+}
+
+// NewShardedRemoteSocket builds a remote-socket emulation on
+// group.Engine(shard) and wires it in.
+func NewShardedRemoteSocket(group *sim.ShardGroup, home, shard int, cfg RemoteSocketConfig, hop sim.Time) (*ShardedDevice, *RemoteSocket) {
+	r := NewRemoteSocket(group.Engine(shard), cfg)
+	return newShardedDevice(group, home, shard, hop, r), r
+}
+
+// NewShardedOptane builds an Optane module set on group.Engine(shard) and
+// wires it in.
+func NewShardedOptane(group *sim.ShardGroup, home, shard int, cfg OptaneConfig, hop sim.Time) (*ShardedDevice, *Optane) {
+	o := NewOptane(group.Engine(shard), cfg)
+	return newShardedDevice(group, home, shard, hop, o), o
+}
+
+// AccessAt submits one host transaction for delivery to the device at
+// absolute time at, transferring ownership. Home-shard goroutine only;
+// at − now must be at least the declared hop.
+func (d *ShardedDevice) AccessAt(req *mem.Request, at sim.Time) {
+	req.SendVia(d.xmit, d.dev, at, 0)
+}
+
+// Access panics: a same-instant hand-off has no conservative window to
+// cross shards in; issuers must carry a positive hop (AccessAt).
+func (d *ShardedDevice) Access(*mem.Request) {
+	panic("cxl: sharded device requires a timed hand-off (AccessAt with a positive hop)")
+}
+
+// Shard reports which shard engine the device runs on.
+func (d *ShardedDevice) Shard() int { return d.shard }
+
+var _ mem.TimedBackend = (*ShardedDevice)(nil)

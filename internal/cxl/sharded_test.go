@@ -1,0 +1,231 @@
+package cxl
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mess-sim/mess/internal/mem"
+	"github.com/mess-sim/mess/internal/sim"
+)
+
+// completionRec is one observed completion on the home engine: the fire
+// instant plus enough request identity to detect any reordering.
+type completionRec struct {
+	at   sim.Time
+	addr uint64
+	op   mem.Op
+}
+
+// driveDevice saturates the backend from the home engine with a mixed
+// read/write xorshift walk and returns the completion trace. hop is the
+// host-side flight time of every issue — the home shard's outbound
+// lookahead under sharding, and the identical delivery delay of the
+// unsharded reference leg (mem.TimedOn).
+func driveDevice(t *testing.T, eng *sim.Engine, run func(), backend mem.TimedBackend, hop sim.Time, n int) []completionRec {
+	t.Helper()
+	pool := mem.NewRequestPool()
+	trace := make([]completionRec, 0, n)
+	rng := uint64(0x9e3779b97f4a7c15)
+	line := uint64(0)
+	completed, target := 0, n
+	var issue func()
+	var done mem.DoneFunc
+	done = func(at sim.Time, req *mem.Request) {
+		trace = append(trace, completionRec{eng.Now(), req.Addr, req.Op})
+		completed++
+		if completed < target {
+			issue()
+		}
+	}
+	issue = func() {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		addr := rng % (1 << 30) &^ 63
+		op := mem.Read
+		if line%3 == 2 {
+			op = mem.Write
+		}
+		line++
+		req := pool.Get(addr, op, done)
+		backend.AccessAt(req, eng.Now()+hop)
+	}
+	for i := 0; i < 64; i++ {
+		issue()
+	}
+	run()
+	if completed < target {
+		t.Fatalf("completed %d of %d requests", completed, target)
+	}
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("%d requests still live after drain", live)
+	}
+	return trace
+}
+
+func diffTraces(t *testing.T, label string, ref, got []completionRec) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: trace length %d, want %d", label, len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("%s: completion %d = %+v, want %+v", label, i, got[i], ref[i])
+		}
+	}
+}
+
+// TestShardedExpanderMatchesUnsharded is the device-shard bit-exactness
+// gate for the CXL expander: the device (with its inner DDR system) on
+// its own shard engine must complete every host request at the same
+// instant and in the same order as the single-engine run, for 2–4
+// shards and any placement.
+func TestShardedExpanderMatchesUnsharded(t *testing.T) {
+	cfg := Default()
+	hop := sim.FromNanoseconds(15)
+	const n = 6000
+
+	eng := sim.New()
+	dev := New(eng, cfg)
+	ref := driveDevice(t, eng, eng.Run, &mem.TimedOn{Eng: eng, Inner: dev}, hop, n)
+
+	for _, shards := range []int{2, 3, 4} {
+		group := sim.NewShardGroup(shards)
+		sh, _ := NewShardedExpander(group, 0, shards-1, cfg, hop)
+		got := driveDevice(t, group.Engine(0), group.Run, sh, hop, n)
+		group.Close()
+		diffTraces(t, fmt.Sprintf("expander shards=%d", shards), ref, got)
+	}
+}
+
+// TestShardedRemoteSocketMatchesUnsharded is the same gate for the
+// remote-socket emulation.
+func TestShardedRemoteSocketMatchesUnsharded(t *testing.T) {
+	cfg := DefaultRemoteSocket()
+	hop := sim.FromNanoseconds(15)
+	const n = 6000
+
+	eng := sim.New()
+	dev := NewRemoteSocket(eng, cfg)
+	ref := driveDevice(t, eng, eng.Run, &mem.TimedOn{Eng: eng, Inner: dev}, hop, n)
+
+	for _, shards := range []int{2, 3, 4} {
+		group := sim.NewShardGroup(shards)
+		sh, _ := NewShardedRemoteSocket(group, 0, 1, cfg, hop)
+		got := driveDevice(t, group.Engine(0), group.Run, sh, hop, n)
+		group.Close()
+		diffTraces(t, fmt.Sprintf("remote shards=%d", shards), ref, got)
+	}
+}
+
+// TestShardedOptaneMatchesUnsharded covers the third device model; the
+// Optane module's write acceptance (94 ns) is the smallest lookahead of
+// the three, so its windows are the tightest.
+func TestShardedOptaneMatchesUnsharded(t *testing.T) {
+	cfg := DefaultOptane()
+	hop := sim.FromNanoseconds(15)
+	const n = 6000
+
+	eng := sim.New()
+	dev := NewOptane(eng, cfg)
+	ref := driveDevice(t, eng, eng.Run, &mem.TimedOn{Eng: eng, Inner: dev}, hop, n)
+
+	group := sim.NewShardGroup(2)
+	defer group.Close()
+	sh, _ := NewShardedOptane(group, 0, 1, cfg, hop)
+	got := driveDevice(t, group.Engine(0), group.Run, sh, hop, n)
+	diffTraces(t, "optane shards=2", ref, got)
+}
+
+// addrRouter splits traffic between two timed backends on an address
+// bit — the two-device topology of the randomized-placement test.
+type addrRouter struct {
+	a, b mem.TimedBackend
+}
+
+func (r *addrRouter) Access(*mem.Request) { panic("addrRouter: use AccessAt") }
+func (r *addrRouter) AccessAt(req *mem.Request, at sim.Time) {
+	if req.Addr&(1<<20) != 0 {
+		r.b.AccessAt(req, at)
+		return
+	}
+	r.a.AccessAt(req, at)
+}
+
+// TestShardedDeviceRandomPlacements runs an expander + remote-socket
+// topology with randomized shard counts and device→shard placements —
+// including both devices packed on one shard — and asserts placement is
+// execution-only: every trial reproduces the single-engine trace byte
+// for byte. The devices carry distinct completion tags in both legs so
+// equal-instant completions of different devices keep one deterministic
+// order.
+func TestShardedDeviceRandomPlacements(t *testing.T) {
+	ecfg := Default()
+	rcfg := DefaultRemoteSocket()
+	hop := sim.FromNanoseconds(15)
+	const n = 5000
+
+	eng := sim.New()
+	exp := New(eng, ecfg)
+	exp.SetTag(DevTagBase)
+	rem := NewRemoteSocket(eng, rcfg)
+	rem.SetTag(DevTagBase + 1)
+	ref := driveDevice(t, eng, eng.Run, &addrRouter{
+		a: &mem.TimedOn{Eng: eng, Inner: exp},
+		b: &mem.TimedOn{Eng: eng, Inner: rem},
+	}, hop, n)
+
+	rng := uint64(0x2545f4914f6cdd1d)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for trial := 0; trial < 5; trial++ {
+		shards := 2 + next(3) // 2..4 shards: home plus 1..3 device shards
+		shA := 1 + next(shards-1)
+		shB := 1 + next(shards-1) // may equal shA: devices sharing a shard
+		group := sim.NewShardGroup(shards)
+		sa, ea := NewShardedExpander(group, 0, shA, ecfg, hop)
+		ea.SetTag(DevTagBase)
+		sb, eb := NewShardedRemoteSocket(group, 0, shB, rcfg, hop)
+		eb.SetTag(DevTagBase + 1)
+		got := driveDevice(t, group.Engine(0), group.Run, &addrRouter{a: sa, b: sb}, hop, n)
+		group.Close()
+		diffTraces(t, fmt.Sprintf("trial %d shards=%d expander@%d remote@%d", trial, shards, shA, shB), ref, got)
+	}
+}
+
+// TestShardedDeviceGuards pins the misuse panics: an untimed Access has
+// no conservative window to cross shards in, a home-shard placement
+// would run the device on the issuing goroutine, and a zero hop leaves
+// the home shard no lookahead.
+func TestShardedDeviceGuards(t *testing.T) {
+	expectPanic(t, "untimed Access", func() {
+		group := sim.NewShardGroup(2)
+		defer group.Close()
+		sh, _ := NewShardedExpander(group, 0, 1, Default(), sim.FromNanoseconds(15))
+		sh.Access(&mem.Request{Addr: 0, Op: mem.Read})
+	})
+	expectPanic(t, "device on home shard", func() {
+		group := sim.NewShardGroup(2)
+		defer group.Close()
+		NewShardedExpander(group, 0, 0, Default(), sim.FromNanoseconds(15))
+	})
+	expectPanic(t, "zero hop", func() {
+		group := sim.NewShardGroup(2)
+		defer group.Close()
+		NewShardedExpander(group, 0, 1, Default(), 0)
+	})
+}
+
+func expectPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", label)
+		}
+	}()
+	fn()
+}

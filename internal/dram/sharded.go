@@ -121,11 +121,14 @@ func NewShardedAssigned(group *sim.ShardGroup, cfg Config, home int, assign []in
 		s.chans[i] = c
 		s.xmit[i] = outward[sh]
 		s.dest[i] = shardEntry{s: s, ch: i}
-		// The shard's lookahead is the minimum flight time of its sends:
-		// every completion lands at least one data burst after the decide
-		// that committed it. Multiple channels on one shard share the same
-		// device timing, so the assignment is idempotent.
-		group.SetLookahead(sh, s.cfg.Timing.Burst)
+		// The shard→home lookahead is the minimum flight time of the
+		// shard's sends: every completion lands at least one data burst
+		// after the decide that committed it. Multiple channels on one
+		// shard share the same device timing, so the assignment is
+		// idempotent. Channel shards never talk to each other — those
+		// pairs stay at InfLookahead and place no bound on each other's
+		// windows.
+		group.SetLookahead(sh, home, s.cfg.Timing.Burst)
 	}
 	return s
 }

@@ -96,6 +96,7 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 	for _, shards := range []int{2, 3, 4} {
 		group := sim.NewShardGroup(shards)
 		sh := NewSharded(group, cfg, 0)
+		group.SetLookaheadOut(0, hop)
 		got := driveClosedLoop(t, group.Engine(0), group.Run, sh, hop, n)
 		group.Close()
 		diffTraces(t, fmt.Sprintf("shards=%d", shards), ref, got)
@@ -117,6 +118,7 @@ func TestShardedAggregatesMatch(t *testing.T) {
 	group := sim.NewShardGroup(3)
 	defer group.Close()
 	sh := NewSharded(group, cfg, 0)
+	group.SetLookaheadOut(0, hop)
 	driveClosedLoop(t, group.Engine(0), group.Run, sh, hop, n)
 
 	if a, b := sys.Counters(), sh.Counters(); a != b {
@@ -159,6 +161,7 @@ func TestShardedRandomAssignments(t *testing.T) {
 		}
 		group := sim.NewShardGroup(shards)
 		sh := NewShardedAssigned(group, cfg, 0, assign)
+		group.SetLookaheadOut(0, hop)
 		got := driveClosedLoop(t, group.Engine(0), group.Run, sh, hop, n)
 		group.Close()
 		diffTraces(t, fmt.Sprintf("trial %d shards=%d assign=%v", trial, shards, assign), ref, got)
@@ -174,6 +177,7 @@ func TestShardedGuards(t *testing.T) {
 	group := sim.NewShardGroup(2)
 	defer group.Close()
 	sh := NewSharded(group, cfg, 0)
+	group.SetLookaheadOut(0, sim.Time(22250))
 
 	expectPanic(t, "untimed Access", func() {
 		sh.Access(&mem.Request{Addr: 0, Op: mem.Read})

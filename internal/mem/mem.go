@@ -336,6 +336,26 @@ type TimedBackend interface {
 	AccessAt(req *Request, at sim.Time)
 }
 
+// TimedOn adapts an untimed backend to TimedBackend by scheduling each
+// delivery on the given engine — the single-engine counterpart of a
+// sharded device's cross-shard hand-off. An unsharded reference leg
+// built with TimedOn sees requests arrive at exactly the instants the
+// sharded leg delivers them, which is what makes the two completion
+// traces comparable byte for byte.
+type TimedOn struct {
+	Eng   *sim.Engine
+	Inner Backend
+}
+
+// Access submits at the current engine time, directly to the inner
+// backend.
+func (t *TimedOn) Access(req *Request) { t.Inner.Access(req) }
+
+// AccessAt schedules delivery to the inner backend at absolute time at.
+func (t *TimedOn) AccessAt(req *Request, at sim.Time) { req.SendAt(t.Eng, t.Inner, at) }
+
+var _ TimedBackend = (*TimedOn)(nil)
+
 // Timed unwraps b to its TimedBackend form if it has one, looking through
 // CountingBackend wrappers. A CountingBackend is timed exactly when its
 // inner backend is (the wrapper counts at submit time either way, so both

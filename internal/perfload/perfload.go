@@ -186,7 +186,17 @@ func NewClosedLoopPattern(eng *sim.Engine, backend mem.Backend, pattern LoopPatt
 func NewShardedClosedLoop(group *sim.ShardGroup, backend mem.TimedBackend, hop sim.Time, pattern LoopPattern) *ClosedLoopDriver {
 	d := NewClosedLoopPattern(group.Engine(0), backend, pattern)
 	d.group, d.timed, d.hop = group, backend, hop
-	group.SetLookahead(0, hop)
+	group.SetLookaheadOut(0, hop)
+	return d
+}
+
+// NewTimedClosedLoop builds a single-engine driver that issues with the
+// same per-request delivery delay a sharded driver would use — the
+// unsharded reference leg for completion-trace and A/B comparisons
+// against NewShardedClosedLoop.
+func NewTimedClosedLoop(eng *sim.Engine, backend mem.TimedBackend, hop sim.Time, pattern LoopPattern) *ClosedLoopDriver {
+	d := NewClosedLoopPattern(eng, nil, pattern)
+	d.timed, d.hop = backend, hop
 	return d
 }
 

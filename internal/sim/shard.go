@@ -8,6 +8,28 @@ import (
 	"sync/atomic"
 )
 
+// InfLookahead marks a shard pair that never exchanges messages: the
+// edge places no bound on either side's window. It is the default for
+// every pair until SetLookahead declares otherwise, and Send panics on
+// an undeclared edge — an undeclared-but-used edge would silently break
+// the conservative window math.
+const InfLookahead = Time(math.MaxInt64)
+
+// maxRunTime is the window cap used by Run (drain mode). One below
+// MaxInt64 so the +1 arithmetic around window ends cannot overflow.
+const maxRunTime = Time(math.MaxInt64) - 1
+
+// Barrier escalation budgets: a waiter spins spinBudget times, then
+// calls runtime.Gosched another yieldBudget times, then parks on its
+// wake channel until the other side unparks it. Spinning wins when the
+// counterpart is actively running on another core; parking wins on
+// oversubscribed or mostly-idle hosts where a spinner would only steal
+// the cycles the counterpart needs to finish.
+const (
+	spinBudget  = 1 << 12
+	yieldBudget = 1 << 6
+)
+
 // ShardGroup advances several Engines concurrently under a conservative
 // time-window barrier (classic conservative PDES). Each shard owns one
 // Engine and, between barriers, exactly one goroutine runs it: shard 0
@@ -18,16 +40,25 @@ import (
 // coordinator between windows, so no engine is ever touched by two
 // goroutines at once.
 //
-// The window horizon is the conservative safe bound: a shard whose next
-// pending event is at nd cannot emit a cross-shard message arriving
-// before nd+lookahead(shard), so every event up to
+// Windows are per shard, computed from an N×N lookahead matrix
+// (SetLookahead(src, dst, l) = lower bound on arrival − send clock of
+// every src→dst message; pairs that never talk stay at InfLookahead).
+// Shard j's window end is the largest fixpoint of
 //
-//	W = min over busy shards of (NextDeadline + lookahead) - 1
+//	end_j ≤ cap
+//	end_j ≤ nd_i + look[i][j] − 1   for every busy shard i ≠ j
+//	end_j ≤ end_i + look[i][j]      for every finite edge i→j
 //
-// can run without ever seeing a message from the future. Lookahead is
-// the per-shard lower bound on (arrival - now) of every Send the shard
-// issues — the on-chip hop for the home shard, the DRAM burst time for
-// channel shards — declared up front via SetLookahead.
+// The second line is the classic bound — a shard whose next pending
+// event is at nd_i cannot emit a message arriving before nd_i +
+// look[i][j]. The third line is the transitive guard the per-pair
+// formula needs and a global-min horizon gets for free: shard i may be
+// idle now but wake next window (a message from a third shard), and
+// everything it ever sends after this window arrives strictly after
+// end_i + look[i][j]; without this bound an unconstrained shard could
+// run past a future sender's reach and receive a message in its own
+// past. With positive edge weights the fixpoint is reached by at most
+// n−1 Bellman–Ford relaxation passes over an n-shard graph.
 //
 // Determinism: at each barrier the messages bound for one target are
 // sorted by (arrival, send time) with ties keeping (sending shard, send
@@ -36,28 +67,99 @@ import (
 // engine's (at, key, tag, seq) total order then places each delivery
 // exactly where the equivalent single-engine schedule call — made at the
 // send instant by the tagged entity — would have landed, so a sharded
-// run fires events in the same order as the unsharded run.
+// run fires events in the same order as the unsharded run. Window
+// placement only affects batching, never order, so widening windows is
+// an execution-only change.
 type ShardGroup struct {
 	engines []*Engine
-	look    []Time // per-shard lookahead (lower bound on send flight time)
+	look    [][]Time // look[src][dst]; InfLookahead = no edge
 	out     [][]outbox
 	scratch []xmsg
+	ends    []Time // per-shard window ends, written before epoch release
 
-	// Barrier state. epoch is the release store the workers spin on;
-	// windowEnd is written before epoch and read after, so it is ordered
-	// by the atomic. done[w] acknowledges worker w (padded to avoid
+	// global replays the PR-6 coupling for A/B measurement: one global
+	// window end (min over busy shards of nd + min outbound lookahead,
+	// minus one) for every shard, and a pure spin/yield barrier that
+	// never parks.
+	global bool
+
+	// Barrier state. epoch is the release store the workers wait on;
+	// ends is written before epoch and read after, so it is ordered by
+	// the atomic. workers[w].ack acknowledges worker w (padded to avoid
 	// false sharing between acknowledging workers).
-	windowEnd Time
-	epoch     atomic.Uint64
-	done      []ackSlot
-	stop      atomic.Bool
-	started   bool
-	wg        sync.WaitGroup
+	epoch   atomic.Uint64
+	workers []workerSlot
+	coord   parker
+	stop    atomic.Bool
+	started bool
+	wg      sync.WaitGroup
+
+	// Stats counters. Coordinator-owned fields are plain; per-worker
+	// spin/yield/park counters live in the worker's slot, written only
+	// by that worker and read at quiescence (the ack exchange orders
+	// them).
+	statWindows  uint64
+	statWidthSum Time // home-shard window widths, summed
+	statMsgs     uint64
+	statBusy     []uint64 // windows in which shard i had a pending event
+	statSpins    uint64   // coordinator-side ack-wait spins
+	statYields   uint64
+	statParks    uint64
 }
 
-type ackSlot struct {
-	val atomic.Uint64
-	_   [56]byte
+// workerSlot is one worker's barrier endpoint: the ack word the
+// coordinator waits on, the parker the coordinator pokes, and the
+// worker-owned wait counters.
+type workerSlot struct {
+	ack    atomic.Uint64
+	park   parker
+	spins  uint64
+	yields uint64
+	parks  uint64
+	_      [64]byte
+}
+
+// parker is a one-party park/unpark cell. The owner parks by storing
+// parked and blocking on wake; any other party makes the owner's ready
+// condition true first and then calls unpark, which hands the owner a
+// wake token iff it won the parked→awake transition. At most one token
+// is ever outstanding, so the buffered channel never blocks a sender.
+type parker struct {
+	status atomic.Int32 // 0 awake, 1 parked
+	wake   chan struct{}
+}
+
+func (p *parker) unpark() {
+	if p.status.CompareAndSwap(1, 0) {
+		p.wake <- struct{}{}
+	}
+}
+
+// park blocks until unparked, unless ready() already holds — the
+// store/recheck ordering closes the race with an unparker that fired
+// between the owner's last poll and the parked store.
+func (p *parker) park(ready func() bool) {
+	p.status.Store(1)
+	if ready() {
+		if !p.status.CompareAndSwap(1, 0) {
+			<-p.wake // unparker won the CAS; consume its token
+		}
+		return
+	}
+	<-p.wake
+}
+
+// ShardStats is a snapshot of the group's window and barrier behavior,
+// cumulative since construction or the last Reset. Read it between
+// runs (coordinator goroutine) only.
+type ShardStats struct {
+	Windows   uint64    // barriers executed
+	Messages  uint64    // cross-shard messages delivered
+	AvgWindow Time      // mean home-shard window width (ps)
+	Spins     uint64    // barrier spin iterations, all parties
+	Yields    uint64    // runtime.Gosched calls while waiting
+	Parks     uint64    // channel parks (blocking waits)
+	BusyFrac  []float64 // per shard: fraction of windows it had work
 }
 
 // xmsg is one cross-shard message: fn is scheduled on the target engine
@@ -75,27 +177,35 @@ type outbox struct {
 	msgs []xmsg
 }
 
-// NewShardGroup builds a group of n engines. Lookaheads default to the
-// 1 ps minimum; callers placing components on a shard must declare that
-// shard's real lookahead with SetLookahead or windows degenerate to
-// single-event steps.
+// NewShardGroup builds a group of n engines. Every pair starts at
+// InfLookahead (no edge); callers must declare each src→dst pair that
+// will carry messages with SetLookahead before sending on it.
 func NewShardGroup(n int) *ShardGroup {
 	if n < 1 {
 		panic(fmt.Sprintf("sim: ShardGroup needs at least 1 shard, got %d", n))
 	}
 	g := &ShardGroup{
-		engines: make([]*Engine, n),
-		look:    make([]Time, n),
-		out:     make([][]outbox, n),
+		engines:  make([]*Engine, n),
+		look:     make([][]Time, n),
+		out:      make([][]outbox, n),
+		ends:     make([]Time, n),
+		statBusy: make([]uint64, n),
 	}
 	for i := range g.engines {
 		g.engines[i] = New()
-		g.look[i] = 1
+		g.look[i] = make([]Time, n)
+		for j := range g.look[i] {
+			g.look[i][j] = InfLookahead
+		}
 		g.out[i] = make([]outbox, n)
 	}
 	if n > 1 {
-		g.done = make([]ackSlot, n-1)
+		g.workers = make([]workerSlot, n-1)
+		for w := range g.workers {
+			g.workers[w].park.wake = make(chan struct{}, 1)
+		}
 	}
+	g.coord.wake = make(chan struct{}, 1)
 	return g
 }
 
@@ -107,27 +217,70 @@ func (g *ShardGroup) Shards() int { return len(g.engines) }
 // be touched, and only from the goroutine that called RunUntil.
 func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
 
-// SetLookahead declares shard i's lookahead: a lower bound on
-// (arrival - Now()) of every Send the shard will ever issue. It must be
-// at least 1 (zero lookahead admits no conservative window).
-func (g *ShardGroup) SetLookahead(i int, l Time) {
-	if l < 1 {
-		panic(fmt.Sprintf("sim: shard %d lookahead %d < 1", i, l))
+// SetLookahead declares the src→dst edge: a lower bound on
+// (arrival − sender's clock) of every Send from src to dst. It must be
+// at least 1 — zero lookahead admits no conservative window — and
+// replaces any earlier declaration for the pair. Components that share
+// a shard must declare the minimum of their individual bounds.
+func (g *ShardGroup) SetLookahead(src, dst int, l Time) {
+	if src == dst {
+		panic(fmt.Sprintf("sim: lookahead %d→%d is a self-edge", src, dst))
 	}
-	g.look[i] = l
+	if l < 1 {
+		panic(fmt.Sprintf("sim: lookahead %d→%d is %d, must be ≥ 1", src, dst, l))
+	}
+	g.look[src][dst] = l
 }
 
-// Lookahead reports shard i's declared lookahead.
-func (g *ShardGroup) Lookahead(i int) Time { return g.look[i] }
+// SetLookaheadOut declares every outbound edge of src at once — the
+// common shape for the home shard, which talks to every device shard
+// with the same minimum hop.
+func (g *ShardGroup) SetLookaheadOut(src int, l Time) {
+	for dst := range g.engines {
+		if dst != src {
+			g.SetLookahead(src, dst, l)
+		}
+	}
+}
+
+// Lookahead reports the declared src→dst lookahead (InfLookahead when
+// the pair has no edge).
+func (g *ShardGroup) Lookahead(src, dst int) Time { return g.look[src][dst] }
+
+// TightenLookahead declares the src→dst edge at l unless an equal or
+// tighter bound already stands — the order-independent form components
+// sharing a shard (or a declaration site) use, since the edge must carry
+// the minimum of every resident's bound.
+func (g *ShardGroup) TightenLookahead(src, dst int, l Time) {
+	if cur := g.look[src][dst]; cur == InfLookahead || l < cur {
+		g.SetLookahead(src, dst, l)
+	}
+}
+
+// SetGlobalCoupling switches the group to the PR-6 baseline behavior —
+// one global window end shared by every shard and a spin/yield barrier
+// that never parks — so the per-pair + adaptive configuration can be
+// A/B-measured against it in the same process. Results are bit-exact
+// either way; only wall-clock differs. Toggle only between runs.
+func (g *ShardGroup) SetGlobalCoupling(on bool) { g.global = on }
 
 // Send queues fn to run on shard `to` at time `at`, ordered as entity
 // `tag` (0 for untagged senders). It must be called from shard `from`'s
-// goroutine (during a window) or from the coordinator between windows,
-// and `at` must respect `from`'s declared lookahead. Delivery happens at
-// the next window barrier.
+// goroutine (during a window) or from the coordinator between windows.
+// The edge must have been declared, and `at` must respect it — both are
+// checked here, because one undeclared or understated edge turns into a
+// silent determinism bug several layers up.
 func (g *ShardGroup) Send(from, to int, at Time, tag int32, fn func(Time)) {
+	l := g.look[from][to]
+	if l == InfLookahead {
+		panic(fmt.Sprintf("sim: Send on undeclared edge %d→%d (SetLookahead first)", from, to))
+	}
+	now := g.engines[from].Now()
+	if at < now+l {
+		panic(fmt.Sprintf("sim: Send %d→%d at %d violates lookahead %d (sender clock %d)", from, to, at, l, now))
+	}
 	b := &g.out[from][to]
-	b.msgs = append(b.msgs, xmsg{at: at, sent: g.engines[from].Now(), from: int32(from), tag: tag, fn: fn})
+	b.msgs = append(b.msgs, xmsg{at: at, sent: now, from: int32(from), tag: tag, fn: fn})
 }
 
 // deliverAll drains every outbox into its target engine in deterministic
@@ -162,42 +315,162 @@ func (g *ShardGroup) deliverAll() {
 		// single-engine schedule call (made at the send instant by the
 		// tagged entity) would have landed.
 		for i := range buf {
+			if buf[i].at < eng.Now() {
+				panic(fmt.Sprintf("sim: message from shard %d arrives at %d, behind shard %d's clock %d — lookahead contract broken",
+					buf[i].from, buf[i].at, to, eng.Now()))
+			}
 			eng.ScheduleTimedSent(buf[i].at, buf[i].sent, buf[i].tag, buf[i].fn)
 		}
+		g.statMsgs += uint64(len(buf))
 		g.scratch = buf[:0]
 	}
 }
 
-// horizon computes the conservative window end, capped at max.
-func (g *ShardGroup) horizon(max Time) (Time, bool) {
-	w := max
+// saturating nd + l, kept below the +1 overflow line.
+func addLook(nd, l Time) Time {
+	if nd > maxRunTime-l {
+		return maxRunTime
+	}
+	return nd + l
+}
+
+// horizons fills g.ends with each shard's conservative window end,
+// capped at max, and reports whether any shard had pending work. See
+// the type comment for the fixpoint the ends satisfy.
+func (g *ShardGroup) horizons(max Time) bool {
+	n := len(g.engines)
 	busy := false
-	for i, e := range g.engines {
-		if nd, ok := e.NextDeadline(); ok {
+	if g.global {
+		// PR-6 baseline: one window end for everyone, each shard
+		// contributing its minimum outbound lookahead.
+		w := max
+		for i, e := range g.engines {
+			if nd, ok := e.NextDeadline(); ok {
+				busy = true
+				l := InfLookahead
+				for j, lj := range g.look[i] {
+					if j != i && lj < l {
+						l = lj
+					}
+				}
+				if l == InfLookahead {
+					l = 1
+				}
+				if h := addLook(nd, l) - 1; h < w {
+					w = h
+				}
+			}
+		}
+		for j := range g.ends {
+			g.ends[j] = w
+		}
+	} else {
+		for j := range g.ends {
+			g.ends[j] = max
+		}
+		for i, e := range g.engines {
+			nd, ok := e.NextDeadline()
+			if !ok {
+				continue
+			}
 			busy = true
-			if h := nd + g.look[i] - 1; h < w {
-				w = h
+			g.statBusy[i]++
+			for j := range g.engines {
+				if j == i {
+					continue
+				}
+				if l := g.look[i][j]; l != InfLookahead {
+					if h := addLook(nd, l) - 1; h < g.ends[j] {
+						g.ends[j] = h
+					}
+				}
+			}
+		}
+		// Transitive relaxation: everything shard i sends after this
+		// window arrives strictly after end_i + look[i][j], so end_j
+		// must not outrun that bound even when i is idle right now.
+		// Positive edges mean n−1 passes reach the fixpoint; almost
+		// always one pass suffices and the loop exits early.
+		for pass := 1; pass < n; pass++ {
+			changed := false
+			for i := range g.engines {
+				for j := range g.engines {
+					if i == j {
+						continue
+					}
+					if l := g.look[i][j]; l != InfLookahead {
+						if h := addLook(g.ends[i], l); h < g.ends[j] {
+							g.ends[j] = h
+							changed = true
+						}
+					}
+				}
+			}
+			if !changed {
+				break
 			}
 		}
 	}
-	return w, busy
+	// A window never moves a clock backwards: a shard whose bound fell
+	// below its clock (possible only through the cap) just sits out.
+	for j, e := range g.engines {
+		if now := e.Now(); g.ends[j] < now {
+			g.ends[j] = now
+		}
+	}
+	if busy {
+		g.statWindows++
+		g.statWidthSum += g.ends[0] - g.engines[0].Now()
+		if g.global {
+			for i, e := range g.engines {
+				if _, ok := e.NextDeadline(); ok {
+					g.statBusy[i]++
+				}
+			}
+		}
+	}
+	return busy
 }
 
-// runWindow releases the workers to advance their shards to end, runs
-// the home shard on the calling goroutine, and waits for all
-// acknowledgements.
-func (g *ShardGroup) runWindow(end Time) {
+// runWindow releases the workers to advance their shards to their
+// window ends (already in g.ends), runs the home shard on the calling
+// goroutine, and waits for all acknowledgements. The ack wait is
+// deferred so that a panic escaping a home-shard callback still leaves
+// every worker quiescent — after recovering, Reset restores the group
+// to a runnable state.
+func (g *ShardGroup) runWindow() {
 	g.ensureWorkers()
-	g.windowEnd = end
 	e := g.epoch.Add(1)
-	g.engines[0].RunUntil(end)
-	for w := range g.done {
+	for w := range g.workers {
+		g.workers[w].park.unpark()
+	}
+	defer g.awaitAcks(e)
+	g.engines[0].RunUntil(g.ends[0])
+}
+
+// awaitAcks blocks until every worker has acknowledged epoch e,
+// escalating spin → yield → park per worker.
+func (g *ShardGroup) awaitAcks(e uint64) {
+	for w := range g.workers {
+		ack := &g.workers[w].ack
+		if ack.Load() >= e {
+			continue
+		}
 		spins := 0
-		for g.done[w].val.Load() < e {
+		for ack.Load() < e {
 			spins++
-			if spins%256 == 0 {
-				runtime.Gosched()
+			if spins <= spinBudget {
+				g.statSpins++
+				continue
 			}
+			if spins <= spinBudget+yieldBudget {
+				g.statYields++
+				runtime.Gosched()
+				continue
+			}
+			g.statParks++
+			g.coord.park(func() bool { return ack.Load() >= e })
+			spins = 0
 		}
 	}
 }
@@ -220,23 +493,45 @@ func (g *ShardGroup) ensureWorkers() {
 func (g *ShardGroup) worker(i int) {
 	defer g.wg.Done()
 	eng := g.engines[i]
-	ack := &g.done[i-1].val
+	slot := &g.workers[i-1]
+	spinOnly := g.global // never toggled mid-run; workers exist only between ensureWorkers and Close
 	last := uint64(0)
+	// Wait counters accumulate in locals and are published into the
+	// slot only between the epoch acquire and the ack release: the slot
+	// must look frozen to the coordinator whenever it can legally read
+	// it (Stats/Reset run with all acks in), and this worker spins on
+	// right through those moments.
+	var waitSpins, waitYields, waitParks uint64
 	for {
 		spins := 0
 		for g.epoch.Load() == last {
 			spins++
-			if spins%256 == 0 {
-				runtime.Gosched()
+			if spins <= spinBudget {
+				waitSpins++
+				continue
 			}
+			if spinOnly || spins <= spinBudget+yieldBudget {
+				waitYields++
+				runtime.Gosched()
+				continue
+			}
+			waitParks++
+			slot.park.park(func() bool { return g.epoch.Load() != last })
+			spins = 0
 		}
 		last = g.epoch.Load()
+		if !g.stop.Load() {
+			eng.RunUntil(g.ends[i])
+		}
+		slot.spins += waitSpins
+		slot.yields += waitYields
+		slot.parks += waitParks
+		waitSpins, waitYields, waitParks = 0, 0, 0
+		slot.ack.Store(last)
+		g.coord.unpark()
 		if g.stop.Load() {
-			ack.Store(last)
 			return
 		}
-		eng.RunUntil(g.windowEnd)
-		ack.Store(last)
 	}
 }
 
@@ -247,13 +542,19 @@ func (g *ShardGroup) worker(i int) {
 func (g *ShardGroup) RunUntil(t Time) {
 	for {
 		g.deliverAll()
-		w, _ := g.horizon(t)
-		if w >= t {
-			g.runWindow(t)
+		g.horizons(t)
+		final := true
+		for _, end := range g.ends {
+			if end < t {
+				final = false
+				break
+			}
+		}
+		g.runWindow()
+		if final {
 			g.deliverAll()
 			return
 		}
-		g.runWindow(w)
 	}
 }
 
@@ -262,11 +563,10 @@ func (g *ShardGroup) RunUntil(t Time) {
 func (g *ShardGroup) Run() {
 	for {
 		g.deliverAll()
-		w, busy := g.horizon(Time(math.MaxInt64) - 1)
-		if !busy {
+		if !g.horizons(maxRunTime) {
 			return
 		}
-		g.runWindow(w)
+		g.runWindow()
 	}
 }
 
@@ -282,9 +582,36 @@ func (g *ShardGroup) Steps() uint64 {
 	return n
 }
 
-// Reset returns every engine to time zero and clears all outboxes,
-// keeping workers parked and internal storage for reuse — the sharded
-// analogue of Engine.Reset.
+// Stats snapshots window and barrier counters accumulated since
+// construction or the last Reset. Coordinator goroutine, between runs
+// only — worker counters are read under the quiescence the last ack
+// exchange established.
+func (g *ShardGroup) Stats() ShardStats {
+	s := ShardStats{
+		Windows:  g.statWindows,
+		Messages: g.statMsgs,
+		Spins:    g.statSpins,
+		Yields:   g.statYields,
+		Parks:    g.statParks,
+		BusyFrac: make([]float64, len(g.engines)),
+	}
+	if g.statWindows > 0 {
+		s.AvgWindow = g.statWidthSum / Time(g.statWindows)
+		for i, b := range g.statBusy {
+			s.BusyFrac[i] = float64(b) / float64(g.statWindows)
+		}
+	}
+	for w := range g.workers {
+		s.Spins += g.workers[w].spins
+		s.Yields += g.workers[w].yields
+		s.Parks += g.workers[w].parks
+	}
+	return s
+}
+
+// Reset returns every engine to time zero, clears all outboxes and
+// stats, keeping workers parked and internal storage for reuse — the
+// sharded analogue of Engine.Reset. Lookahead declarations survive.
 func (g *ShardGroup) Reset() {
 	for _, e := range g.engines {
 		e.Reset()
@@ -294,15 +621,36 @@ func (g *ShardGroup) Reset() {
 			g.out[from][to].msgs = g.out[from][to].msgs[:0]
 		}
 	}
+	g.statWindows = 0
+	g.statWidthSum = 0
+	g.statMsgs = 0
+	g.statSpins = 0
+	g.statYields = 0
+	g.statParks = 0
+	for i := range g.statBusy {
+		g.statBusy[i] = 0
+	}
+	// Workers are quiescent here (last window fully acked), so their
+	// counters may be cleared from the coordinator; the next epoch
+	// release publishes the writes back to them.
+	for w := range g.workers {
+		g.workers[w].spins = 0
+		g.workers[w].yields = 0
+		g.workers[w].parks = 0
+	}
 }
 
 // Close terminates the worker goroutines. The group must not be run
 // afterwards. Safe to call on a group that never ran.
 func (g *ShardGroup) Close() {
 	if !g.started || len(g.engines) == 1 {
+		g.stop.Store(true)
 		return
 	}
 	g.stop.Store(true)
 	g.epoch.Add(1)
+	for w := range g.workers {
+		g.workers[w].park.unpark()
+	}
 	g.wg.Wait()
 }

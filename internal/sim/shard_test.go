@@ -38,6 +38,8 @@ func TestScheduleTimedSentOrder(t *testing.T) {
 func TestShardGroupMergeOrder(t *testing.T) {
 	g := NewShardGroup(3)
 	defer g.Close()
+	g.SetLookahead(1, 0, 100)
+	g.SetLookahead(2, 0, 100)
 	var order []int
 	rec := func(id int) func(Time) {
 		return func(Time) { order = append(order, id) }
@@ -71,7 +73,7 @@ func TestShardGroupConservativeWindows(t *testing.T) {
 	g := NewShardGroup(2)
 	defer g.Close()
 	const look = 50
-	g.SetLookahead(1, look)
+	g.SetLookahead(1, 0, look)
 	var got []Time
 	var tick func()
 	n := 0
@@ -124,6 +126,7 @@ func TestShardGroupRunUntilReset(t *testing.T) {
 	}
 	g := NewShardGroup(2)
 	defer g.Close()
+	g.SetLookahead(1, 0, 1)
 	first := run(g)
 	g.Reset()
 	if g.Now() != 0 {
@@ -136,13 +139,35 @@ func TestShardGroupRunUntilReset(t *testing.T) {
 }
 
 // TestShardGroupGuards pins the misuse panics: zero shards, invalid
-// lookahead, and running a closed group.
+// lookahead declarations, undeclared or understated sends, and running
+// a closed group.
 func TestShardGroupGuards(t *testing.T) {
 	expectPanic(t, "zero shards", func() { NewShardGroup(0) })
 	expectPanic(t, "zero lookahead", func() {
 		g := NewShardGroup(2)
 		defer g.Close()
-		g.SetLookahead(1, 0)
+		g.SetLookahead(1, 0, 0)
+	})
+	expectPanic(t, "negative lookahead", func() {
+		g := NewShardGroup(2)
+		defer g.Close()
+		g.SetLookahead(0, 1, -5)
+	})
+	expectPanic(t, "self-edge lookahead", func() {
+		g := NewShardGroup(2)
+		defer g.Close()
+		g.SetLookahead(1, 1, 10)
+	})
+	expectPanic(t, "send on undeclared edge", func() {
+		g := NewShardGroup(2)
+		defer g.Close()
+		g.Send(1, 0, 100, 0, func(Time) {})
+	})
+	expectPanic(t, "send below declared lookahead", func() {
+		g := NewShardGroup(2)
+		defer g.Close()
+		g.SetLookahead(1, 0, 50)
+		g.Send(1, 0, 49, 0, func(Time) {})
 	})
 	expectPanic(t, "run after Close", func() {
 		g := NewShardGroup(2)
@@ -152,6 +177,155 @@ func TestShardGroupGuards(t *testing.T) {
 		g.Engine(1).Schedule(5, func() {})
 		g.Run()
 	})
+	expectPanic(t, "run after Close, never started", func() {
+		g := NewShardGroup(2)
+		g.Close()
+		g.Engine(1).Schedule(5, func() {})
+		g.Run()
+	})
+}
+
+// TestShardGroupPerPairWindows pins the point of the lookahead matrix: a
+// shard with no outbound edges (or only high-latency ones) must not
+// throttle everyone else's windows the way the PR-6 global-min horizon
+// did. Shard 2 executes 1000 internal events it never tells anyone
+// about; under global coupling every one of them bounds the window, so
+// the drain takes over a thousand barriers, while per-pair horizons let
+// shard 2 run its whole schedule inside a handful of windows. The fire
+// order on the home shard must be identical either way.
+func TestShardGroupPerPairWindows(t *testing.T) {
+	build := func(g *ShardGroup) *[]Time {
+		g.SetLookahead(1, 0, 10)
+		g.SetLookahead(0, 1, 10)
+		g.SetLookahead(0, 2, 10000)
+		trace := &[]Time{}
+		var chat func()
+		n := 0
+		chat = func() {
+			at := g.Engine(1).Now() + 10
+			g.Send(1, 0, at, 1, func(fireAt Time) { *trace = append(*trace, fireAt) })
+			n++
+			if n < 50 {
+				g.Engine(1).After(10, chat)
+			}
+		}
+		g.Engine(1).Schedule(1, chat)
+		var spin func()
+		m := 0
+		spin = func() {
+			m++
+			if m < 1000 {
+				g.Engine(2).After(1, spin)
+			}
+		}
+		g.Engine(2).Schedule(1, spin)
+		return trace
+	}
+
+	perPair := NewShardGroup(3)
+	defer perPair.Close()
+	traceA := build(perPair)
+	perPair.Run()
+
+	global := NewShardGroup(3)
+	defer global.Close()
+	global.SetGlobalCoupling(true)
+	traceB := build(global)
+	global.Run()
+
+	if len(*traceA) != 50 || len(*traceB) != 50 {
+		t.Fatalf("traces have %d and %d deliveries, want 50", len(*traceA), len(*traceB))
+	}
+	for i := range *traceA {
+		if (*traceA)[i] != (*traceB)[i] {
+			t.Fatalf("delivery %d at %d per-pair vs %d global", i, (*traceA)[i], (*traceB)[i])
+		}
+	}
+	sp, sg := perPair.Stats(), global.Stats()
+	if sg.Windows < 1000 {
+		t.Fatalf("global coupling ran %d windows, expected shard 2's 1000 events to force ≥1000", sg.Windows)
+	}
+	if sp.Windows*4 > sg.Windows {
+		t.Fatalf("per-pair windows (%d) not substantially fewer than global (%d)", sp.Windows, sg.Windows)
+	}
+}
+
+// TestShardGroupResetAfterPanic checks the group survives a panic that
+// escapes a home-shard callback mid-window: the deferred ack wait
+// leaves the workers quiescent, so after recovering the caller can
+// Reset and reuse the group.
+func TestShardGroupResetAfterPanic(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	g.SetLookahead(1, 0, 5)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("home-shard panic did not propagate")
+			}
+		}()
+		g.Engine(1).Schedule(1, func() {
+			g.Send(1, 0, g.Engine(1).Now()+5, 0, func(Time) {})
+		})
+		g.Engine(0).Schedule(3, func() { panic("boom") })
+		g.Run()
+	}()
+
+	g.Reset()
+	if g.Now() != 0 {
+		t.Fatalf("home clock %d after Reset", g.Now())
+	}
+	delivered := 0
+	g.Engine(1).Schedule(1, func() {
+		g.Send(1, 0, g.Engine(1).Now()+5, 0, func(Time) { delivered++ })
+	})
+	g.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d messages after panic+Reset, want 1", delivered)
+	}
+}
+
+// TestShardGroupStats sanity-checks the counters: windows and messages
+// accumulate during a run, busy fractions are per shard and bounded,
+// and Reset clears everything.
+func TestShardGroupStats(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	g.SetLookahead(1, 0, 5)
+	for i := 0; i < 20; i++ {
+		at := Time(1 + i*10)
+		g.Engine(1).Schedule(at, func() {
+			g.Send(1, 0, g.Engine(1).Now()+5, 0, func(Time) {})
+		})
+	}
+	g.Run()
+	s := g.Stats()
+	if s.Windows == 0 {
+		t.Fatal("no windows counted")
+	}
+	if s.Messages != 20 {
+		t.Fatalf("counted %d messages, want 20", s.Messages)
+	}
+	if s.AvgWindow <= 0 {
+		t.Fatalf("average window width %d, want > 0", s.AvgWindow)
+	}
+	if len(s.BusyFrac) != 2 {
+		t.Fatalf("busy fractions for %d shards, want 2", len(s.BusyFrac))
+	}
+	for i, f := range s.BusyFrac {
+		if f < 0 || f > 1 {
+			t.Fatalf("shard %d busy fraction %v out of [0,1]", i, f)
+		}
+	}
+	if s.BusyFrac[1] == 0 {
+		t.Fatal("shard 1 did all the work but has zero busy fraction")
+	}
+	g.Reset()
+	s = g.Stats()
+	if s.Windows != 0 || s.Messages != 0 || s.Spins != 0 {
+		t.Fatalf("stats not cleared by Reset: %+v", s)
+	}
 }
 
 func expectPanic(t *testing.T, label string, fn func()) {

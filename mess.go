@@ -351,14 +351,25 @@ func NewEngine() *Engine { return sim.New() }
 
 // ShardGroup advances several engines concurrently under a conservative
 // time-window barrier — the substrate of sharded multi-channel simulation.
+// Each src→dst pair carries its own lookahead bound (SetLookahead), so a
+// shard is only constrained by the shards that can actually reach it.
 // Results are deterministic: equal-time cross-shard events merge in a fixed
 // order, so a sharded run is byte-identical to its single-engine
 // equivalent. See BenchmarkOptions.Shards for the high-level knob.
 type ShardGroup = sim.ShardGroup
 
+// ShardStats snapshots a group's execution counters — windows run, their
+// mean width, cross-shard messages, barrier spin/yield/park escalations
+// and per-shard busy fractions. See ShardGroup.Stats.
+type ShardStats = sim.ShardStats
+
 // NewShardGroup builds a group of n engines (shard 0 runs on the calling
 // goroutine; the rest on parked workers). Close it when done.
 func NewShardGroup(n int) *ShardGroup { return sim.NewShardGroup(n) }
+
+// InfLookahead marks an undeclared shard pair: no messages, no window
+// coupling.
+const InfLookahead = sim.InfLookahead
 
 // NewSimulator builds the Mess analytical simulator on the engine.
 func NewSimulator(eng *Engine, cfg SimulatorConfig) *Simulator {
@@ -396,6 +407,58 @@ func RemoteSocketCXLFamily() *Family { return cxl.RemoteSocketFamily(cxl.SweepOp
 // persistent-memory modules (App Direct mode), the other non-DDR
 // technology the Mess simulator release supports.
 func OptaneFamily() *Family { return cxl.OptaneFamily(cxl.SweepOptions{}) }
+
+// CXL device models, directly instantiable as memory backends — and their
+// device-shard form, which places a device (with its device-side memory
+// system) on its own ShardGroup engine behind the same timed-hand-off
+// seam the sharded DRAM channels use. Completions are byte-identical to
+// the single-engine run.
+type (
+	// CXLConfig parameterizes the CXL memory expander model.
+	CXLConfig = cxl.Config
+	// RemoteSocketCXLConfig parameterizes the remote-socket emulation.
+	RemoteSocketCXLConfig = cxl.RemoteSocketConfig
+	// OptaneConfig parameterizes the Optane module model.
+	OptaneConfig = cxl.OptaneConfig
+	// CXLExpander is the modelled CXL memory expander.
+	CXLExpander = cxl.Expander
+	// RemoteSocketCXL is the remote-socket CXL emulation.
+	RemoteSocketCXL = cxl.RemoteSocket
+	// OptaneModule is the modelled Optane DC module set.
+	OptaneModule = cxl.Optane
+	// ShardedCXLDevice is a device model running on its own shard engine;
+	// it serves timed accesses from the home shard (AccessAt).
+	ShardedCXLDevice = cxl.ShardedDevice
+)
+
+// DefaultCXLConfig returns the released expander parameters.
+func DefaultCXLConfig() CXLConfig { return cxl.Default() }
+
+// DefaultRemoteSocketCXLConfig returns the released remote-socket
+// parameters.
+func DefaultRemoteSocketCXLConfig() RemoteSocketCXLConfig { return cxl.DefaultRemoteSocket() }
+
+// DefaultOptaneConfig returns the released Optane parameters.
+func DefaultOptaneConfig() OptaneConfig { return cxl.DefaultOptane() }
+
+// NewShardedCXLExpander builds a CXL expander on group.Engine(shard) and
+// wires its lookahead edges and completion path to the home shard. hop is
+// the host-side flight time every AccessAt must carry.
+func NewShardedCXLExpander(group *ShardGroup, home, shard int, cfg CXLConfig, hop SimTime) (*ShardedCXLDevice, *CXLExpander) {
+	return cxl.NewShardedExpander(group, home, shard, cfg, hop)
+}
+
+// NewShardedRemoteSocketCXL builds a remote-socket emulation on
+// group.Engine(shard) and wires it in.
+func NewShardedRemoteSocketCXL(group *ShardGroup, home, shard int, cfg RemoteSocketCXLConfig, hop SimTime) (*ShardedCXLDevice, *RemoteSocketCXL) {
+	return cxl.NewShardedRemoteSocket(group, home, shard, cfg, hop)
+}
+
+// NewShardedOptane builds an Optane module set on group.Engine(shard) and
+// wires it in.
+func NewShardedOptane(group *ShardGroup, home, shard int, cfg OptaneConfig, hop SimTime) (*ShardedCXLDevice, *OptaneModule) {
+	return cxl.NewShardedOptane(group, home, shard, cfg, hop)
+}
 
 // Curve persistence.
 
