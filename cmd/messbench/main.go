@@ -35,6 +35,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
+		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
 	flag.Parse()
 
@@ -51,10 +52,12 @@ func main() {
 		opt = mess.BenchmarkOptions{}
 	}
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("characterizing %s ...\n", spec.String())
 	start := time.Now()
-	art, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
+	art, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: opt})
 	if err != nil {
 		cli.Fatal(err)
 	}

@@ -41,6 +41,38 @@
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
+//
+// # Failure modes
+//
+// The store is a pure content-addressed cache, so every failure degrades to
+// a re-simulation on some client — never to a wrong curve. The modes worth
+// knowing when operating one:
+//
+//   - Server down or unreachable: clients fail soft. Each tool treats a
+//     remote error as a miss, falls back to its local tiers, re-simulates
+//     if it must, and trips a short client-side circuit breaker so a dead
+//     server is not re-dialled on every lookup.
+//   - Slow or stalled peers: ReadHeaderTimeout/ReadTimeout bound how long a
+//     client may take to deliver a request, WriteTimeout bounds a download,
+//     and IdleTimeout reaps idle keep-alive connections — a misbehaving
+//     peer costs one connection for minutes, not a goroutine forever.
+//   - Corrupt upload: the Content-SHA256 header (sent by the Go client) is
+//     verified against the decompressed CSV and a mismatch is rejected with
+//     422 before anything is stored; unparsable CSV is rejected the same
+//     way. Corruption on the wire cannot enter the store.
+//   - Corrupt download: clients verify the body against the strong ETag
+//     (the hex SHA-256 of the canonical CSV) and treat a mismatch as a
+//     miss, then repair the entry by re-uploading the re-simulated family.
+//   - Corrupt entry on disk: an unreadable file is quarantined (renamed
+//     *.bad) on first load, so the key reads as a clean miss and heals via
+//     the next upload; quarantined and orphaned temp files older than an
+//     hour are swept by the size-bound GC.
+//   - Client gives up mid-upload: the decoded family is persisted under a
+//     detached context, so concurrent uploaders of the same key (collapsed
+//     by singleflight) still observe the completed save.
+//   - Crash mid-write: entries are written to a temp file and renamed into
+//     place, so a torn write leaves only a *.tmp orphan, never a half
+//     entry under a valid key.
 package main
 
 import (
@@ -99,9 +131,17 @@ func main() {
 		cfg.Log = logger
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           curvestore.NewServer(store, cfg),
+		Addr:    *addr,
+		Handler: curvestore.NewServer(store, cfg),
+		// Slow-client armour (see "Failure modes" above): a stalled or
+		// malicious peer must never pin a handler goroutine forever. The
+		// read/write budgets are generous — a full-sweep family is a few MiB
+		// of CSV — and the client retries on failure, so cutting a
+		// glacially-slow transfer costs one retry, not correctness.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

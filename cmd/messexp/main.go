@@ -36,6 +36,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
+		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
 	flag.Parse()
 
@@ -66,11 +67,20 @@ func main() {
 		}
 	}
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	failed := 0
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			// Cancelled (SIGINT or -timeout): stop cleanly instead of
+			// burning through — and failing — every remaining experiment.
+			fmt.Fprintf(os.Stderr, "messexp: cancelled: %v\n", ctx.Err())
+			failed++
+			break
+		}
 		start := time.Now()
-		res, err := mess.RunExperimentWith(svc, id, s)
+		res, err := mess.RunExperimentShardedContext(ctx, svc, id, s, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "messexp: %s failed: %v\n", id, err)
 			failed++

@@ -46,6 +46,7 @@ func main() {
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 		replay   = flag.String("replay-trace", "", "profile this captured memory trace by behaviour-phase clustering instead of running the HPCG proxy")
+		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
 	flag.Parse()
 
@@ -56,9 +57,11 @@ func main() {
 		return
 	}
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("characterizing %s for the profiling curves ...\n", spec.Name)
-	ref, err := svc.Characterize(charz.Request{Spec: spec, Options: bench.QuickOptions()})
+	ref, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: bench.QuickOptions()})
 	if err != nil {
 		cli.Fatal(err)
 	}

@@ -42,6 +42,7 @@ func main() {
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 		shards   = flag.Int("shards", 1, "engines per measurement point for the reference characterization (≥2 shards the DRAM channels; execution-only, results are byte-identical)")
+		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
 	flag.Parse()
 
@@ -53,9 +54,11 @@ func main() {
 	}
 	opt.Shards = *shards
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
 	fmt.Printf("reference characterization of %s ...\n", spec.Name)
-	refArt, err := svc.Characterize(charz.Request{Spec: spec, Options: opt})
+	refArt, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: opt})
 	if err != nil {
 		cli.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func main() {
 			}
 			return m
 		}
-		art, err := svc.Characterize(charz.Request{Spec: spec, Options: o, Tag: "model:" + string(kind)})
+		art, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: o, Tag: "model:" + string(kind)})
 		if err != nil {
 			cli.Fatal(err)
 		}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,14 +55,18 @@ func main() {
 		probes   = flag.Int("probes", 0, "sampled: extra windows replayed per cluster for error bars (0 = default)")
 		warmup   = flag.Float64("warmup", 0, "sampled: warm-up prefix as a fraction of the window span (0 = default)")
 		compare  = flag.Bool("compare-full", false, "sampled: also run the full replay and report the divergence")
+		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
 	flag.Parse()
 
 	spec := cli.MustPlatform(*name)
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
 	switch {
 	case *capture != "":
-		doCapture(spec, *capture, *stores, *pace, *limit, *measUs)
+		doCapture(ctx, spec, *capture, *stores, *pace, *limit, *measUs)
 	case *replay != "":
 		cfg := trace.SampleConfig{
 			Windows: *windows, Clusters: *clusters, Probes: *probes,
@@ -73,7 +78,7 @@ func main() {
 	}
 }
 
-func doCapture(spec mess.Platform, path string, stores int, pace float64, limit, measUs int) {
+func doCapture(ctx context.Context, spec mess.Platform, path string, stores int, pace float64, limit, measUs int) {
 	var cap *trace.Capture
 	opt := bench.QuickOptions()
 	opt.Mixes = []bench.Mix{{StorePercent: stores}}
@@ -86,7 +91,7 @@ func doCapture(spec mess.Platform, path string, stores int, pace float64, limit,
 		cap = trace.NewCapture(eng, dram.New(eng, spec.DRAM), limit)
 		return cap
 	}
-	res, err := bench.Run(spec, opt)
+	res, err := bench.RunContext(ctx, spec, opt)
 	if err != nil {
 		cli.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mess_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -31,7 +32,7 @@ func TestCurveStoreFacade(t *testing.T) {
 		},
 	}
 	var runs atomic.Int64
-	stubRun := func(spec mess.Platform, opt mess.BenchmarkOptions) (*mess.BenchmarkResult, error) {
+	stubRun := func(_ context.Context, spec mess.Platform, opt mess.BenchmarkOptions) (*mess.BenchmarkResult, error) {
 		runs.Add(1)
 		return &mess.BenchmarkResult{Spec: spec, Family: fam}, nil
 	}
@@ -75,13 +76,13 @@ func TestCurveStoreFacade(t *testing.T) {
 	memory := mess.NewMemoryCurveStore(4)
 	tiered := mess.NewTieredCurveStore(memory, disk)
 	key := mess.FingerprintCharacterization(req)
-	if _, ok, err := disk.Load(key); !ok || err != nil {
+	if _, ok, err := disk.Load(context.Background(), key); !ok || err != nil {
 		t.Fatalf("remote run not persisted server-side: ok=%v err=%v", ok, err)
 	}
-	if got, ok, err := tiered.Load(key); !ok || err != nil || got.Label != "facade" {
+	if got, ok, err := tiered.Load(context.Background(), key); !ok || err != nil || got.Label != "facade" {
 		t.Fatalf("tiered load: %v %v %v", got, ok, err)
 	}
-	if _, ok, _ := memory.Load(key); !ok {
+	if _, ok, _ := memory.Load(context.Background(), key); !ok {
 		t.Fatal("tiered hit not promoted into the memory tier")
 	}
 }

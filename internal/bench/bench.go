@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -181,6 +182,17 @@ type rowStatser interface{ RowStats() dram.RowStats }
 // to its initial state — so results are independent of how points map onto
 // workers.
 func Run(spec platform.Spec, opt Options) (*Result, error) {
+	return RunContext(context.Background(), spec, opt)
+}
+
+// RunContext is Run under a caller-supplied context. A measurement point
+// is atomic — the simulation kernel has no preemption points — so
+// cancellation is observed at point boundaries: the feeder stops handing
+// out jobs, each worker finishes (at most) the point it is on and drains,
+// and RunContext returns ctx.Err(). Worst-case cancellation latency is
+// therefore one sweep point per worker, which QuickOptions-sized points
+// keep in the tens of milliseconds.
+func RunContext(ctx context.Context, spec platform.Spec, opt Options) (*Result, error) {
 	o := opt.withDefaults()
 	// Job 0 is the unloaded anchor: the pointer chase alone, as the paper
 	// measures the unloaded latency (validated against LMbench/multichase).
@@ -226,6 +238,12 @@ func Run(spec platform.Spec, opt Options) (*Result, error) {
 				eng = sim.New()
 			}
 			for ji := range feed {
+				if ctx.Err() != nil {
+					// Cancelled while this job was already handed out: skip
+					// the simulation but keep draining the feed so the
+					// feeder never blocks.
+					continue
+				}
 				if group != nil {
 					group.Reset()
 				} else {
@@ -240,11 +258,19 @@ func Run(spec platform.Spec, opt Options) (*Result, error) {
 			}
 		}()
 	}
+feedLoop:
 	for ji := range jobs {
-		feed <- ji
+		select {
+		case feed <- ji:
+		case <-ctx.Done():
+			break feedLoop
+		}
 	}
 	close(feed)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

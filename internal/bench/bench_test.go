@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/mess-sim/mess/internal/cache"
 	"github.com/mess-sim/mess/internal/dram"
@@ -176,6 +180,59 @@ func TestOpenPitonBugDetection(t *testing.T) {
 	}
 	if r := res2.Samples[0].RdRatio; r > 0.8 {
 		t.Fatalf("bugged pure-load read ratio = %.2f, want well below 1 (excess writebacks)", r)
+	}
+}
+
+// TestRunContextCancellation is the worker-pool half of the cancellation
+// contract: a cancelled sweep returns the context error in bounded time
+// (each worker finishes at most the point it is simulating) and leaves no
+// goroutine behind.
+func TestRunContextCancellation(t *testing.T) {
+	spec := miniPlatform()
+	opt := QuickOptions()
+	opt.Parallelism = 2
+
+	before := runtime.NumGoroutine()
+
+	// Cancel mid-sweep: the quick sweep is dozens of points, so a few
+	// milliseconds lands inside it.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunContext(ctx, spec, opt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a partial Result")
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled sweep took %v to unwind — workers not draining", elapsed)
+	}
+
+	// An already-cancelled context never starts simulating.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	start = time.Now()
+	if _, err := RunContext(done, spec, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run err = %v, want Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("pre-cancelled run still swept")
+	}
+
+	// No leaked workers: the goroutine count settles back to the baseline
+	// (with slack for runtime background goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+3 {
+		t.Fatalf("goroutines leaked by cancelled runs: %d before, %d after", before, n)
 	}
 }
 

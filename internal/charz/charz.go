@@ -30,6 +30,7 @@
 package charz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -101,9 +102,10 @@ type Artifact struct {
 	Source Source
 }
 
-// RunFunc executes one benchmark sweep. The default is bench.Run; tests
-// substitute counting or synthetic runners.
-type RunFunc func(platform.Spec, bench.Options) (*bench.Result, error)
+// RunFunc executes one benchmark sweep. The default is bench.RunContext;
+// tests substitute counting or synthetic runners. A cancelled context must
+// make the runner return promptly with ctx.Err() (wrapped or bare).
+type RunFunc func(context.Context, platform.Spec, bench.Options) (*bench.Result, error)
 
 // Config parameterizes a Service.
 type Config struct {
@@ -119,7 +121,8 @@ type Config struct {
 	// it is fail-soft: a down server degrades the service to its local
 	// tiers and never fails a characterization.
 	Remote curvestore.Store
-	// Run overrides the benchmark runner (test seam). Default: bench.Run.
+	// Run overrides the benchmark runner (test seam). Default:
+	// bench.RunContext.
 	Run RunFunc
 }
 
@@ -176,7 +179,7 @@ func New(cfg Config) *Service {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Run == nil {
-		cfg.Run = bench.Run
+		cfg.Run = bench.RunContext
 	}
 	s := &Service{
 		workers: cfg.Workers,
@@ -211,13 +214,25 @@ func (s *Service) Stats() Stats {
 
 // Characterize returns the request's curve family, running the benchmark
 // at most once per key per process (and, with a disk store, at most once
-// ever for family-only requests). Safe for concurrent use.
+// ever for family-only requests). Safe for concurrent use. It is
+// CharacterizeContext with a background context — the entry point for
+// callers with no deadline to propagate.
 func (s *Service) Characterize(req Request) (*Artifact, error) {
+	return s.CharacterizeContext(context.Background(), req)
+}
+
+// CharacterizeContext is Characterize under a caller-supplied context.
+// Cancellation propagates into every blocking stage — the tier lookups,
+// the benchmark sweep, and waiting on another caller's in-flight run —
+// and returns ctx.Err() promptly. A waiter whose filler was cancelled
+// retries the key itself (the cancelled filler's entry is dropped), so one
+// caller's deadline never poisons another caller's request.
+func (s *Service) CharacterizeContext(ctx context.Context, req Request) (*Artifact, error) {
 	if req.Options.Backend != nil && req.Tag == "" {
 		// A function-valued backend has no stable identity: simulate
 		// without touching the cache rather than risk aliasing.
 		s.uncacheable.Add(1)
-		res, err := s.runOnce(req)
+		res, err := s.runOnce(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +241,9 @@ func (s *Service) Characterize(req Request) (*Artifact, error) {
 
 	key := Fingerprint(req)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.mu.Lock()
 		e, ok := s.entries[key]
 		waited := ok
@@ -233,15 +251,26 @@ func (s *Service) Characterize(req Request) (*Artifact, error) {
 			e = &entry{done: make(chan struct{})}
 			s.entries[key] = e
 			s.mu.Unlock()
-			s.fill(key, e, req)
+			s.fill(ctx, key, e, req)
 		} else {
 			s.mu.Unlock()
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				// Leave the entry alone: the filler is still running and
+				// will publish for the callers that stayed.
+				return nil, ctx.Err()
+			}
 		}
 		if e.err != nil {
 			// Errors are not cached: drop the entry so a later request
 			// can retry, then report the failure to this caller.
 			s.dropIf(key, e)
+			if waited && ctxErr(e.err) && ctx.Err() == nil {
+				// The filler was cancelled, but this waiter was not: the
+				// entry is gone, so loop and fill it ourselves.
+				continue
+			}
 			return nil, e.err
 		}
 		if req.NeedSamples && e.res == nil {
@@ -258,6 +287,11 @@ func (s *Service) Characterize(req Request) (*Artifact, error) {
 	}
 }
 
+// ctxErr reports whether err is (or wraps) a context cancellation.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Reset drops every completed and in-flight entry from the in-memory
 // cache (in-flight runs finish for their current waiters but will not be
 // re-served). Long-lived processes characterizing many distinct
@@ -271,13 +305,13 @@ func (s *Service) Reset() {
 
 // fill executes the cache miss path for the entry it owns and publishes
 // the outcome by closing done.
-func (s *Service) fill(key Key, e *entry, req Request) {
+func (s *Service) fill(ctx context.Context, key Key, e *entry, req Request) {
 	defer close(e.done)
 	if s.tiered != nil && !req.NeedSamples {
 		// Disk, then remote, with write-back promotion on a remote hit.
 		// Tier failures (corrupt cache file, down curve server) read as
 		// misses and fall through to simulation — fail-soft.
-		fam, tier, _ := s.tiered.LoadTier(key)
+		fam, tier, _ := s.tiered.LoadTier(ctx, key)
 		if tier >= 0 {
 			src := s.tierSrc[tier]
 			switch src {
@@ -290,7 +324,13 @@ func (s *Service) fill(key Key, e *entry, req Request) {
 			return
 		}
 	}
-	res, err := s.runOnce(req)
+	if err := ctx.Err(); err != nil {
+		// Cancelled between the tier walk and the sweep: don't start a
+		// simulation nobody is waiting for.
+		e.err = err
+		return
+	}
+	res, err := s.runOnce(ctx, req)
 	if err != nil {
 		e.err = err
 		return
@@ -299,14 +339,17 @@ func (s *Service) fill(key Key, e *entry, req Request) {
 	if s.tiered != nil {
 		// Persistence is best-effort on every tier: a read-only cache
 		// directory or an unreachable curve server must not fail the
-		// characterization itself.
-		_ = s.tiered.Save(key, res.Family)
+		// characterization itself. A completed sweep is saved even if the
+		// caller's context has since been cancelled (WithoutCancel):
+		// throwing away minutes of finished simulation because the caller
+		// stopped waiting would force the fleet to pay for it again.
+		_ = s.tiered.Save(context.WithoutCancel(ctx), key, res.Family)
 	}
 }
 
-func (s *Service) runOnce(req Request) (*bench.Result, error) {
+func (s *Service) runOnce(ctx context.Context, req Request) (*bench.Result, error) {
 	s.runs.Add(1)
-	return s.run(req.Spec, req.Options)
+	return s.run(ctx, req.Spec, req.Options)
 }
 
 // dropIf removes the entry from the cache if it is still the resident one.
@@ -344,6 +387,14 @@ func entryArtifact(key Key, e *entry, needSamples bool) *Artifact {
 // Duplicate keys inside one batch still simulate only once: the pool fans
 // out, the singleflight layer fans back in.
 func (s *Service) CharacterizeAll(reqs []Request) ([]*Artifact, error) {
+	return s.CharacterizeAllContext(context.Background(), reqs)
+}
+
+// CharacterizeAllContext is CharacterizeAll under a caller-supplied
+// context. Cancellation drains the pool promptly: requests not yet started
+// fail with ctx.Err() without simulating, and in-flight ones return as
+// soon as their own blocking stage observes the cancellation.
+func (s *Service) CharacterizeAllContext(ctx context.Context, reqs []Request) ([]*Artifact, error) {
 	arts := make([]*Artifact, len(reqs))
 	errs := make([]error, len(reqs))
 	sem := make(chan struct{}, s.workers)
@@ -354,7 +405,11 @@ func (s *Service) CharacterizeAll(reqs []Request) ([]*Artifact, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			art, err := s.Characterize(reqs[i])
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("charz: %s: %w", reqs[i].Spec.Name, err)
+				return
+			}
+			art, err := s.CharacterizeContext(ctx, reqs[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("charz: %s: %w", reqs[i].Spec.Name, err)
 				return

@@ -2,6 +2,7 @@ package charz
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -19,10 +20,14 @@ import (
 	"github.com/mess-sim/mess/internal/sim"
 )
 
+// bg is the do-not-care context for calls whose cancellation behaviour is
+// not under test.
+var bg = context.Background()
+
 // fakeRun returns a RunFunc that fabricates a small deterministic family
 // and counts invocations.
 func fakeRun(calls *atomic.Int64, delay time.Duration) RunFunc {
-	return func(spec platform.Spec, opt bench.Options) (*bench.Result, error) {
+	return func(ctx context.Context, spec platform.Spec, opt bench.Options) (*bench.Result, error) {
 		calls.Add(1)
 		if delay > 0 {
 			time.Sleep(delay)
@@ -171,7 +176,7 @@ func TestNeedSamplesUpgradesDiskEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := Request{Spec: testSpec("upgrade"), Options: bench.QuickOptions()}
-	if err := store.Save(Fingerprint(req), &core.Family{
+	if err := store.Save(bg, Fingerprint(req), &core.Family{
 		Label: "upgrade", TheoreticalBW: 100,
 		Curves: []core.Curve{{ReadRatio: 1, Points: []core.Point{{BW: 1, Latency: 90}, {BW: 50, Latency: 150}}}},
 	}); err != nil {
@@ -215,7 +220,7 @@ func TestCharacterizeAllBoundedConcurrency(t *testing.T) {
 	var calls atomic.Int64
 	var inFlight, maxInFlight atomic.Int64
 	base := fakeRun(&calls, 0)
-	run := func(spec platform.Spec, opt bench.Options) (*bench.Result, error) {
+	run := func(ctx context.Context, spec platform.Spec, opt bench.Options) (*bench.Result, error) {
 		cur := inFlight.Add(1)
 		for {
 			max := maxInFlight.Load()
@@ -225,7 +230,7 @@ func TestCharacterizeAllBoundedConcurrency(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 		defer inFlight.Add(-1)
-		return base(spec, opt)
+		return base(ctx, spec, opt)
 	}
 
 	const workers = 3
@@ -259,12 +264,12 @@ func TestCharacterizeAllBoundedConcurrency(t *testing.T) {
 
 func TestCharacterizeAllReportsFailures(t *testing.T) {
 	boom := errors.New("boom")
-	run := func(spec platform.Spec, opt bench.Options) (*bench.Result, error) {
+	run := func(ctx context.Context, spec platform.Spec, opt bench.Options) (*bench.Result, error) {
 		if spec.Name == "bad" {
 			return nil, boom
 		}
 		var calls atomic.Int64
-		return fakeRun(&calls, 0)(spec, opt)
+		return fakeRun(&calls, 0)(ctx, spec, opt)
 	}
 	svc := New(Config{Run: run})
 	arts, err := svc.CharacterizeAll([]Request{
@@ -282,13 +287,13 @@ func TestCharacterizeAllReportsFailures(t *testing.T) {
 func TestErrorsAreNotCached(t *testing.T) {
 	var calls atomic.Int64
 	fail := true
-	run := func(spec platform.Spec, opt bench.Options) (*bench.Result, error) {
+	run := func(ctx context.Context, spec platform.Spec, opt bench.Options) (*bench.Result, error) {
 		calls.Add(1)
 		if fail {
 			return nil, errors.New("transient")
 		}
 		var c atomic.Int64
-		return fakeRun(&c, 0)(spec, opt)
+		return fakeRun(&c, 0)(ctx, spec, opt)
 	}
 	svc := New(Config{Run: run})
 	req := Request{Spec: testSpec("retry"), Options: bench.QuickOptions()}
@@ -465,7 +470,7 @@ func TestNeedSamplesUpgradeNotCountedAsHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := Request{Spec: testSpec("hitstats"), Options: bench.QuickOptions()}
-	if err := store.Save(Fingerprint(req), &core.Family{
+	if err := store.Save(bg, Fingerprint(req), &core.Family{
 		Label: "hitstats", TheoreticalBW: 100,
 		Curves: []core.Curve{{ReadRatio: 1, Points: []core.Point{{BW: 1, Latency: 90}, {BW: 50, Latency: 150}}}},
 	}); err != nil {
@@ -509,7 +514,7 @@ func TestDiskStoreShardsByKeyPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := keyForStoreTest(1)
-	if err := store.Save(key, famForStoreTest("sharded")); err != nil {
+	if err := store.Save(bg, key, famForStoreTest("sharded")); err != nil {
 		t.Fatal(err)
 	}
 	want := filepath.Join(dir, key.String()[:2], key.String()+".csv")
@@ -519,7 +524,7 @@ func TestDiskStoreShardsByKeyPrefix(t *testing.T) {
 	if _, err := os.Stat(want); err != nil {
 		t.Fatalf("saved file not in shard subdirectory: %v", err)
 	}
-	fam, ok, err := store.Load(key)
+	fam, ok, err := store.Load(bg, key)
 	if err != nil || !ok {
 		t.Fatalf("Load after sharded save: ok=%v err=%v", ok, err)
 	}
@@ -551,7 +556,7 @@ func TestDiskStoreMigratesFlatLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, k := range keys {
-		fam, ok, err := store.Load(k)
+		fam, ok, err := store.Load(bg, k)
 		if err != nil || !ok {
 			t.Fatalf("key %d unreadable after migration: ok=%v err=%v", i, ok, err)
 		}
@@ -582,7 +587,7 @@ func TestDiskStoreGCEvictsLRU(t *testing.T) {
 	var fileSize int64
 	for i := range keys {
 		keys[i] = keyForStoreTest(100 + i)
-		if err := store.Save(keys[i], famForStoreTest("gc")); err != nil {
+		if err := store.Save(bg, keys[i], famForStoreTest("gc")); err != nil {
 			t.Fatal(err)
 		}
 		fi, err := os.Stat(store.Path(keys[i]))
@@ -597,7 +602,7 @@ func TestDiskStoreGCEvictsLRU(t *testing.T) {
 		}
 	}
 	// Touch the oldest via Load: it becomes the most recently used.
-	if _, ok, err := store.Load(keys[0]); !ok || err != nil {
+	if _, ok, err := store.Load(bg, keys[0]); !ok || err != nil {
 		t.Fatalf("load: ok=%v err=%v", ok, err)
 	}
 
@@ -610,16 +615,16 @@ func TestDiskStoreGCEvictsLRU(t *testing.T) {
 		t.Fatalf("evicted %d files, want %d", evicted, n-4)
 	}
 	// The loaded key survived; the next-oldest untouched keys are gone.
-	if _, ok, _ := store.Load(keys[0]); !ok {
+	if _, ok, _ := store.Load(bg, keys[0]); !ok {
 		t.Fatal("recently loaded key was evicted")
 	}
 	for i := 1; i <= n-4; i++ {
-		if _, ok, _ := store.Load(keys[i]); ok {
+		if _, ok, _ := store.Load(bg, keys[i]); ok {
 			t.Fatalf("stale key %d survived GC", i)
 		}
 	}
 	for i := n - 3; i < n; i++ {
-		if _, ok, _ := store.Load(keys[i]); !ok {
+		if _, ok, _ := store.Load(bg, keys[i]); !ok {
 			t.Fatalf("recent key %d was evicted", i)
 		}
 	}
@@ -639,7 +644,7 @@ func TestDiskStoreSaveTriggersGC(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Budget of ~2 files: saving many more must keep the store bounded.
-	if err := store.Save(keyForStoreTest(200), famForStoreTest("seed")); err != nil {
+	if err := store.Save(bg, keyForStoreTest(200), famForStoreTest("seed")); err != nil {
 		t.Fatal(err)
 	}
 	fi, err := os.Stat(store.Path(keyForStoreTest(200)))
@@ -648,7 +653,7 @@ func TestDiskStoreSaveTriggersGC(t *testing.T) {
 	}
 	store.SetMaxBytes(fi.Size()*2 + fi.Size()/2)
 	for i := 0; i < 2*gcEvery; i++ {
-		if err := store.Save(keyForStoreTest(300+i), famForStoreTest("fill")); err != nil {
+		if err := store.Save(bg, keyForStoreTest(300+i), famForStoreTest("fill")); err != nil {
 			t.Fatal(err)
 		}
 	}

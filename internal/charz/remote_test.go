@@ -110,7 +110,7 @@ func TestRemoteStoreFleetRoundTrip(t *testing.T) {
 	// The remote hit was promoted into machine B's disk tier: a third
 	// process on machine B is served locally even with the server gone.
 	key := Fingerprint(req)
-	if _, ok, err := diskB.Load(key); !ok || err != nil {
+	if _, ok, err := diskB.Load(bg, key); !ok || err != nil {
 		t.Fatalf("remote hit not promoted into the local disk store: ok=%v err=%v", ok, err)
 	}
 	ts.Close()
@@ -202,7 +202,7 @@ func TestRemoteStoreFailSoft(t *testing.T) {
 		t.Fatalf("source = %v, want run", art.Source)
 	}
 	// And it still persisted to the surviving local tier.
-	if _, ok, _ := disk.Load(Fingerprint(cold)); !ok {
+	if _, ok, _ := disk.Load(bg, Fingerprint(cold)); !ok {
 		t.Fatal("family not saved to the local disk tier while the server was down")
 	}
 }

@@ -1,6 +1,7 @@
 package charz
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -125,9 +126,16 @@ func (d *DiskStore) Path(key Key) string {
 }
 
 // Load reads the family for key. ok is false when the key is absent; a
-// present but unparsable file is an error. A hit refreshes the file's
-// modification time, which is the recency signal the GC pass evicts by.
-func (d *DiskStore) Load(key Key) (fam *core.Family, ok bool, err error) {
+// present but unparsable file is an error — and is quarantined: the file
+// is renamed to <name>.bad, so the key reads as a clean miss from then on
+// and heals by re-save, instead of re-erroring on every lookup forever. A
+// hit refreshes the file's modification time, which is the recency signal
+// the GC pass evicts by. Local file I/O is fast enough that the context is
+// checked only on entry.
+func (d *DiskStore) Load(ctx context.Context, key Key) (fam *core.Family, ok bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	path := d.Path(key)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -139,6 +147,7 @@ func (d *DiskStore) Load(key Key) (fam *core.Family, ok bool, err error) {
 	defer f.Close()
 	fam, err = core.ReadCSV(f)
 	if err != nil {
+		d.quarantine(path)
 		return nil, false, fmt.Errorf("charz: parsing cached curves %s: %w", path, err)
 	}
 	// Best-effort LRU touch; a read-only store still serves hits.
@@ -147,10 +156,22 @@ func (d *DiskStore) Load(key Key) (fam *core.Family, ok bool, err error) {
 	return fam, true, nil
 }
 
+// quarantine sidelines an unreadable curve file as <name>.bad — kept for a
+// post-mortem rather than deleted, invisible to isKeyFile so the key is a
+// clean miss until a re-save heals it, and swept by GC like an orphaned
+// temp file. Best-effort: on a read-only store the rename fails and the
+// file keeps erroring, which is no worse than before.
+func (d *DiskStore) quarantine(path string) {
+	_ = os.Rename(path, path+".bad")
+}
+
 // Save writes the family for key atomically (temp file + rename), so a
 // crashed or concurrent writer never leaves a torn CSV for readers. When a
 // size budget is set, an amortized GC pass keeps the store under it.
-func (d *DiskStore) Save(key Key, fam *core.Family) error {
+func (d *DiskStore) Save(ctx context.Context, key Key, fam *core.Family) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	shard := filepath.Dir(d.Path(key))
 	if err := os.MkdirAll(shard, 0o755); err != nil {
 		return fmt.Errorf("charz: creating shard dir: %w", err)
@@ -232,10 +253,12 @@ func (d *DiskStore) GC() (evicted int, err error) {
 				continue
 			}
 			if !isKeyFile(e.Name()) {
-				// Sweep temp files orphaned by a killed writer: they are
-				// invisible to Load yet consume the budget. Anything still
-				// mid-write is far younger than an hour.
-				if strings.HasSuffix(e.Name(), ".tmp") && time.Since(fi.ModTime()) > time.Hour {
+				// Sweep temp files orphaned by a killed writer and
+				// quarantined (.bad) files past their post-mortem window:
+				// both are invisible to Load yet consume the budget.
+				// Anything still mid-write is far younger than an hour.
+				stale := strings.HasSuffix(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".bad")
+				if stale && time.Since(fi.ModTime()) > time.Hour {
 					_ = os.Remove(filepath.Join(d.dir, sh.Name(), e.Name()))
 				}
 				continue

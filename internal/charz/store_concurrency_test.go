@@ -43,11 +43,11 @@ func TestDiskStoreConcurrentSaveLoadGC(t *testing.T) {
 				// payloads agree, but make them distinguishable so a torn
 				// mix of two writes cannot masquerade as either.
 				fam := famForStoreTest(fmt.Sprintf("writer-%d", w))
-				if err := store.Save(key, fam); err != nil {
+				if err := store.Save(bg, key, fam); err != nil {
 					errs <- fmt.Errorf("writer %d save %d: %w", w, i, err)
 					return
 				}
-				got, ok, err := store.Load(keyOf(i / 2))
+				got, ok, err := store.Load(bg, keyOf(i / 2))
 				if err != nil {
 					// A concurrent GC may have removed the file (ok=false
 					// is fine); a parse error means a torn write.
@@ -87,7 +87,7 @@ func TestDiskStoreConcurrentSaveLoadGC(t *testing.T) {
 	stores[1].SetMaxBytes(0)
 	survivors := 0
 	for i := 0; i < keys; i++ {
-		fam, ok, err := stores[1].Load(keyOf(i))
+		fam, ok, err := stores[1].Load(bg, keyOf(i))
 		if err != nil {
 			t.Fatalf("surviving key %d corrupt: %v", i, err)
 		}

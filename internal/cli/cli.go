@@ -5,13 +5,19 @@
 package cli
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"github.com/mess-sim/mess/internal/charz"
 	"github.com/mess-sim/mess/internal/curvestore"
 	"github.com/mess-sim/mess/internal/exp"
+	"github.com/mess-sim/mess/internal/faultz"
 	"github.com/mess-sim/mess/internal/platform"
 )
 
@@ -105,13 +111,58 @@ func Service(cacheDir string, maxMB int, cacheURL string) *charz.Service {
 	}
 	var remote curvestore.Store
 	if cacheURL != "" {
-		client, err := curvestore.NewClient(cacheURL, curvestore.ClientConfig{})
+		cfg := curvestore.ClientConfig{}
+		if spec := os.Getenv(FaultzEnv); spec != "" {
+			// Chaos harness hook: interpose the seeded fault transport
+			// between the client and the wire, so CI (and operators
+			// rehearsing an incident) can drive any tool through a hostile
+			// schedule without rebuilding it. A bad spec exits loudly — a
+			// silently-dropped fault plan tests nothing.
+			fcfg, err := faultz.ParseConfig(spec)
+			if err != nil {
+				Fatal(err)
+			}
+			plan, err := faultz.NewPlan(fcfg)
+			if err != nil {
+				Fatal(err)
+			}
+			cfg.HTTPClient = &http.Client{
+				Timeout:   30 * time.Second,
+				Transport: faultz.NewTransport(nil, plan),
+			}
+		}
+		client, err := curvestore.NewClient(cacheURL, cfg)
 		if err != nil {
 			Fatal(err)
 		}
 		remote = client
 	}
 	return charz.New(charz.Config{Store: store, Remote: remote})
+}
+
+// FaultzEnv, when set, wraps every remote curve-store client Service
+// builds with the fault-injection transport it specifies (see
+// faultz.ParseConfig for the format) — the hook the CI chaos leg drives
+// the real binaries through.
+const FaultzEnv = "MESS_FAULTZ"
+
+// TimeoutUsage is the shared help text of the -timeout flag.
+const TimeoutUsage = "abort the run after this duration (e.g. 90s, 10m; 0 means none); in-flight sweeps stop at the next point boundary"
+
+// Context returns the root context every cached tool runs under: cancelled
+// by SIGINT/SIGTERM (first signal cancels and lets the tool drain; a
+// second kills the process via the restored default handler) and, when
+// timeout is positive, by a deadline. Call stop to release the signal
+// watcher on clean exits.
+func Context(timeout time.Duration) (ctx context.Context, stop func()) {
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		sigStop := stop
+		stop = func() { cancel(); sigStop() }
+	}
+	return ctx, stop
 }
 
 // PrintStats writes a one-line cache summary for verbose tool output.

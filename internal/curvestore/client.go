@@ -3,11 +3,13 @@ package curvestore
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -132,14 +134,17 @@ func (c *Client) urlFor(key Key) string { return c.base + "/v1/curves/" + key.St
 // Load fetches the family for key from the server. A 404 and an open
 // circuit both read as a clean miss; transport failures and 5xx responses
 // are retried, then trip the circuit and surface as a tier error (which a
-// Tiered composition — and charz — treats as a miss).
-func (c *Client) Load(key Key) (*core.Family, bool, error) {
-	if c.circuitOpen() {
+// Tiered composition — and charz — treats as a miss). When the response
+// carries the server's strong ETag (the SHA-256 of the canonical CSV) the
+// body is verified against it before being trusted: a corrupted or
+// truncated transfer reads as a tier error, never as wrong curves.
+func (c *Client) Load(ctx context.Context, key Key) (*core.Family, bool, error) {
+	if c.CircuitOpen() {
 		return nil, false, nil
 	}
 	etag, cached := c.revalGet(key)
-	resp, err := c.do(func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodGet, c.urlFor(key), nil)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urlFor(key), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -158,11 +163,19 @@ func (c *Client) Load(key Key) (*core.Family, bool, error) {
 	switch resp.StatusCode {
 	case http.StatusOK:
 		// The transport handles Content-Encoding: gzip transparently.
-		fam, err := core.ReadCSV(resp.Body)
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("curvestore: remote load %s: reading body: %w", key.Short(), err)
+		}
+		respETag := resp.Header.Get("ETag")
+		if err := verifyBody(body, respETag); err != nil {
+			return nil, false, fmt.Errorf("curvestore: remote load %s: %w", key.Short(), err)
+		}
+		fam, err := core.ReadCSV(bytes.NewReader(body))
 		if err != nil {
 			return nil, false, fmt.Errorf("curvestore: remote load %s: %w", key.Short(), err)
 		}
-		c.revalPut(key, resp.Header.Get("ETag"), fam)
+		c.revalPut(key, respETag, fam)
 		return fam, true, nil
 	case http.StatusNotModified:
 		if cached == nil {
@@ -182,8 +195,8 @@ func (c *Client) Load(key Key) (*core.Family, bool, error) {
 // Content-SHA256 digest of the uncompressed CSV, which the server verifies
 // before storing. Like Load, it retries transient failures and opens the
 // circuit when they persist.
-func (c *Client) Save(key Key, fam *core.Family) error {
-	if c.circuitOpen() {
+func (c *Client) Save(ctx context.Context, key Key, fam *core.Family) error {
+	if c.CircuitOpen() {
 		return ErrUnavailable
 	}
 	var raw bytes.Buffer
@@ -199,8 +212,8 @@ func (c *Client) Save(key Key, fam *core.Family) error {
 	if err := zw.Close(); err != nil {
 		return err
 	}
-	resp, err := c.do(func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPut, c.urlFor(key), bytes.NewReader(gz.Bytes()))
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.urlFor(key), bytes.NewReader(gz.Bytes()))
 		if err != nil {
 			return nil, err
 		}
@@ -223,14 +236,40 @@ func (c *Client) Save(key Key, fam *core.Family) error {
 	return nil
 }
 
+// verifyBody checks a downloaded body against the server's strong ETag —
+// a quoted SHA-256 of the canonical CSV. An empty or non-digest validator
+// (a fronting proxy rewriting ETags) skips the check rather than failing
+// it; a digest mismatch is a tier error.
+func verifyBody(body []byte, etag string) error {
+	digest := strings.Trim(etag, `"`)
+	if len(digest) != 2*sha256.Size {
+		return nil
+	}
+	if _, err := hex.DecodeString(digest); err != nil {
+		return nil
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != digest {
+		return fmt.Errorf("body does not match ETag (corrupt transfer)")
+	}
+	return nil
+}
+
 // do executes one request with bounded retries on transport errors and
-// 5xx responses. Exhausting the retries trips the fail-soft circuit.
-func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error) {
+// 5xx responses. Retry sleeps use full jitter — uniform in [0, backoff),
+// backoff doubling per attempt — so a fleet of clients that miss together
+// does not stampede the server in lockstep, and they select on ctx so a
+// cancelled caller never waits out a backoff. Exhausting the retries trips
+// the fail-soft circuit; caller cancellation does not — the server may be
+// perfectly healthy, so the next caller should still try it.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			if err := sleepJitter(ctx, backoff); err != nil {
+				return nil, err
+			}
 			backoff *= 2
 		}
 		req, err := build()
@@ -239,6 +278,11 @@ func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The request died because the caller cancelled, not because
+				// the server failed: report it without tripping the circuit.
+				return nil, ctx.Err()
+			}
 			lastErr = err
 			continue
 		}
@@ -254,13 +298,46 @@ func (c *Client) do(build func() (*http.Request, error)) (*http.Response, error)
 	return nil, lastErr
 }
 
-func (c *Client) circuitOpen() bool {
+// sleepJitter blocks for a uniform duration in [0, max) or until ctx is
+// cancelled.
+func sleepJitter(ctx context.Context, max time.Duration) error {
+	if max <= 0 {
+		return ctx.Err()
+	}
+	d := time.Duration(rand.Int63n(int64(max)))
+	if d == 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CircuitOpen reports whether the fail-soft circuit is open: a recent
+// request exhausted its retries and the client is inside its cooldown, so
+// calls short-circuit to a miss (Load) or ErrUnavailable (Save). Exported
+// so operators (CLI stats lines, health probes) can tell "server slow"
+// from "server written off".
+func (c *Client) CircuitOpen() bool {
 	if c.cooldown <= 0 {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return time.Now().Before(c.downUntil)
+}
+
+// CircuitUntil reports when the circuit closes again; the zero time means
+// it has never tripped (or the circuit is disabled).
+func (c *Client) CircuitUntil() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downUntil
 }
 
 func (c *Client) trip() {

@@ -3,6 +3,7 @@ package curvestore
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -23,14 +24,14 @@ type countingStore struct {
 	loads, saves atomic.Int64
 }
 
-func (c *countingStore) Load(k Key) (fam *core.Family, ok bool, err error) {
+func (c *countingStore) Load(ctx context.Context, k Key) (fam *core.Family, ok bool, err error) {
 	c.loads.Add(1)
-	return c.Store.Load(k)
+	return c.Store.Load(ctx, k)
 }
 
-func (c *countingStore) Save(k Key, fam *core.Family) error {
+func (c *countingStore) Save(ctx context.Context, k Key, fam *core.Family) error {
 	c.saves.Add(1)
-	return c.Store.Save(k, fam)
+	return c.Store.Save(ctx, k, fam)
 }
 
 func fastClient(t *testing.T, url string) *Client {
@@ -57,13 +58,13 @@ func TestClientServerRoundTrip(t *testing.T) {
 	key := testKey(20)
 
 	// Miss before anything is uploaded.
-	if fam, ok, err := down.Load(key); fam != nil || ok || err != nil {
+	if fam, ok, err := down.Load(bg, key); fam != nil || ok || err != nil {
 		t.Fatalf("load before save: %v %v %v", fam, ok, err)
 	}
-	if err := up.Save(key, testFam("fleet")); err != nil {
+	if err := up.Save(bg, key, testFam("fleet")); err != nil {
 		t.Fatal(err)
 	}
-	fam, ok, err := down.Load(key)
+	fam, ok, err := down.Load(bg, key)
 	if err != nil || !ok {
 		t.Fatalf("load after save: ok=%v err=%v", ok, err)
 	}
@@ -87,16 +88,16 @@ func TestClientRevalidatesWithETag(t *testing.T) {
 
 	up := fastClient(t, ts.URL)
 	key := testKey(21)
-	if err := up.Save(key, testFam("etag")); err != nil {
+	if err := up.Save(bg, key, testFam("etag")); err != nil {
 		t.Fatal(err)
 	}
 
 	reader := fastClient(t, ts.URL)
-	if _, ok, err := reader.Load(key); !ok || err != nil {
+	if _, ok, err := reader.Load(bg, key); !ok || err != nil {
 		t.Fatalf("first load: ok=%v err=%v", ok, err)
 	}
 	sent := srv.Stats().BytesOut
-	fam, ok, err := reader.Load(key)
+	fam, ok, err := reader.Load(bg, key)
 	if !ok || err != nil {
 		t.Fatalf("revalidated load: ok=%v err=%v", ok, err)
 	}
@@ -112,7 +113,7 @@ func TestClientRevalidatesWithETag(t *testing.T) {
 	}
 
 	// The uploader revalidates straight from its Save-time cache too.
-	if _, ok, err := up.Load(key); !ok || err != nil {
+	if _, ok, err := up.Load(bg, key); !ok || err != nil {
 		t.Fatalf("uploader revalidation: ok=%v err=%v", ok, err)
 	}
 	if got := srv.Stats().Revalidations; got != 2 {
@@ -136,7 +137,7 @@ func TestServerPUTSingleflight(t *testing.T) {
 	put := func(i int) {
 		defer wg.Done()
 		c := fastClient(t, ts.URL)
-		errs[i] = c.Save(key, testFam("stampede"))
+		errs[i] = c.Save(bg, key, testFam("stampede"))
 	}
 	// The winner enters the (gated) store save...
 	wg.Add(1)
@@ -173,13 +174,13 @@ type gateStore struct {
 	once    sync.Once
 }
 
-func (g *gateStore) Load(k Key) (*core.Family, bool, error) { return g.inner.Load(k) }
-func (g *gateStore) Save(k Key, fam *core.Family) error {
+func (g *gateStore) Load(ctx context.Context, k Key) (*core.Family, bool, error) { return g.inner.Load(ctx, k) }
+func (g *gateStore) Save(ctx context.Context, k Key, fam *core.Family) error {
 	g.once.Do(func() {
 		g.entered <- struct{}{}
 		<-g.release
 	})
-	return g.inner.Save(k, fam)
+	return g.inner.Save(ctx, k, fam)
 }
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -245,7 +246,7 @@ func TestServerPUTDurability(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	err := fastClient(t, ts.URL).Save(testKey(29), testFam("volatile"))
+	err := fastClient(t, ts.URL).Save(bg, testKey(29), testFam("volatile"))
 	if err == nil {
 		t.Fatal("upload acknowledged with the durable tier broken")
 	}
@@ -305,10 +306,10 @@ func TestClientRetriesTransientServerErrors(t *testing.T) {
 	defer ts.Close()
 
 	c := fastClient(t, ts.URL)
-	if err := c.Save(testKey(25), testFam("retry")); err != nil {
+	if err := c.Save(bg, testKey(25), testFam("retry")); err != nil {
 		t.Fatalf("save through 2 transient 500s: %v", err)
 	}
-	if _, ok, _ := backing.Load(testKey(25)); !ok {
+	if _, ok, _ := backing.Load(bg, testKey(25)); !ok {
 		t.Fatal("family never reached the store")
 	}
 }
@@ -320,15 +321,15 @@ func TestClientFailSoftWhenServerDown(t *testing.T) {
 
 	c := fastClient(t, url)
 	start := time.Now()
-	if _, ok, err := c.Load(testKey(26)); ok || err == nil {
+	if _, ok, err := c.Load(bg, testKey(26)); ok || err == nil {
 		t.Fatalf("load from dead server: ok=%v err=%v, want a tier error", ok, err)
 	}
 	// The circuit is now open: every further call is an instant miss with
 	// no error — the degraded mode Tiered and charz ride through.
-	if _, ok, err := c.Load(testKey(26)); ok || err != nil {
+	if _, ok, err := c.Load(bg, testKey(26)); ok || err != nil {
 		t.Fatalf("load with open circuit: ok=%v err=%v, want silent miss", ok, err)
 	}
-	if err := c.Save(testKey(26), testFam("x")); err != ErrUnavailable {
+	if err := c.Save(bg, testKey(26), testFam("x")); err != ErrUnavailable {
 		t.Fatalf("save with open circuit: %v, want ErrUnavailable", err)
 	}
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
@@ -342,10 +343,10 @@ func TestServerStatsEndpoint(t *testing.T) {
 	defer ts.Close()
 
 	c := fastClient(t, ts.URL)
-	if err := c.Save(testKey(27), testFam("stats")); err != nil {
+	if err := c.Save(bg, testKey(27), testFam("stats")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := fastClient(t, ts.URL).Load(testKey(27)); !ok || err != nil {
+	if _, ok, err := fastClient(t, ts.URL).Load(bg, testKey(27)); !ok || err != nil {
 		t.Fatalf("load: %v %v", ok, err)
 	}
 
@@ -375,7 +376,7 @@ func TestGzipOnTheWire(t *testing.T) {
 	defer ts.Close()
 
 	key := testKey(28)
-	if err := fastClient(t, ts.URL).Save(key, testFam("gzip")); err != nil {
+	if err := fastClient(t, ts.URL).Save(bg, key, testFam("gzip")); err != nil {
 		t.Fatal(err)
 	}
 

@@ -3,6 +3,7 @@ package curvestore
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -226,7 +227,7 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request, key Key) {
 			return
 		}
 	}
-	fam, ok, err := s.store.Load(key)
+	fam, ok, err := s.store.Load(r.Context(), key)
 	if err != nil || !ok {
 		// Fail-soft on the serving side too: a corrupt entry reads as a
 		// miss, and the client re-simulates (and re-uploads) it.
@@ -380,7 +381,10 @@ func (s *Server) put(w http.ResponseWriter, r *http.Request, key Key) {
 	// Persist to the durable save store (see ServerConfig.SaveStore): a
 	// failed disk must surface as a 500, not be masked by a bounded
 	// memory tier accepting the family.
-	if err := s.saveTo.Save(key, fam); err != nil {
+	// The body is fully received and verified by now, and singleflight
+	// waiters are counting on this write — so it proceeds even if the
+	// uploader disconnects (WithoutCancel), like any committed upload.
+	if err := s.saveTo.Save(context.WithoutCancel(r.Context()), key, fam); err != nil {
 		http.Error(w, "storing curves: "+err.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -21,6 +21,7 @@ package curvestore
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -77,9 +78,16 @@ func ParseKey(s string) (Key, error) {
 // Save must be atomic with respect to concurrent readers and idempotent:
 // keys are content-addressed, so two writers storing the same key store
 // semantically identical families and either may win.
+//
+// Both operations honour their context: a tier that talks to anything
+// slower than memory (disk, network) must return promptly — with
+// ctx.Err() — once the context is cancelled, so a deadline set at the top
+// of the stack (a CLI -timeout, a SIGINT) propagates through every tier
+// instead of being absorbed by an uninterruptible sleep. Cancellation is
+// an ordinary tier error under the fail-soft rule.
 type Store interface {
-	Load(Key) (*core.Family, bool, error)
-	Save(Key, *core.Family) error
+	Load(context.Context, Key) (*core.Family, bool, error)
+	Save(context.Context, Key, *core.Family) error
 }
 
 // Memory is a concurrency-safe in-memory tier: a bounded LRU map of deep
@@ -108,8 +116,9 @@ func NewMemory(maxEntries int) *Memory {
 	}
 }
 
-// Load returns a private copy of the family for key.
-func (m *Memory) Load(key Key) (*core.Family, bool, error) {
+// Load returns a private copy of the family for key. Purely in-memory, so
+// the context is never consulted: the operation cannot block.
+func (m *Memory) Load(_ context.Context, key Key) (*core.Family, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	el, ok := m.entries[key]
@@ -122,7 +131,7 @@ func (m *Memory) Load(key Key) (*core.Family, bool, error) {
 
 // Save stores a private copy of the family, evicting the least recently
 // used entry when the bound is exceeded.
-func (m *Memory) Save(key Key, fam *core.Family) error {
+func (m *Memory) Save(_ context.Context, key Key, fam *core.Family) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if el, ok := m.entries[key]; ok {
@@ -229,8 +238,8 @@ func (t *Tiered) Tiers() int { return len(t.tiers) }
 
 // Load resolves key through the tiers. See LoadTier for the promotion and
 // fail-soft rules.
-func (t *Tiered) Load(key Key) (*core.Family, bool, error) {
-	fam, tier, err := t.LoadTier(key)
+func (t *Tiered) Load(ctx context.Context, key Key) (*core.Family, bool, error) {
+	fam, tier, err := t.LoadTier(ctx, key)
 	return fam, tier >= 0, err
 }
 
@@ -239,11 +248,16 @@ func (t *Tiered) Load(key Key) (*core.Family, bool, error) {
 // tier is -1 on a miss. On a hit the family is promoted: written back
 // (best-effort) into every tier above the one that hit, and the error is
 // nil regardless of broken tiers along the way. Only a total miss reports
-// the tier errors, joined.
-func (t *Tiered) LoadTier(key Key) (fam *core.Family, tier int, err error) {
+// the tier errors, joined. A cancelled context stops the walk: the
+// remaining (more expensive) tiers are not consulted.
+func (t *Tiered) LoadTier(ctx context.Context, key Key) (fam *core.Family, tier int, err error) {
 	var errs []error
 	for i, st := range t.tiers {
-		fam, ok, err := st.Load(key)
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		fam, ok, err := st.Load(ctx, key)
 		if err != nil {
 			errs = append(errs, err)
 			continue // fail-soft: a broken tier is a miss
@@ -254,7 +268,7 @@ func (t *Tiered) LoadTier(key Key) (fam *core.Family, tier int, err error) {
 		for j := i - 1; j >= 0; j-- {
 			// Promotion is best-effort: a read-only disk or a down server
 			// must not turn a hit into a failure.
-			_ = t.tiers[j].Save(key, fam)
+			_ = t.tiers[j].Save(ctx, key, fam)
 		}
 		return fam, i, nil
 	}
@@ -264,11 +278,11 @@ func (t *Tiered) LoadTier(key Key) (fam *core.Family, tier int, err error) {
 // Save writes the family through to every tier. It succeeds if at least
 // one tier stored the family and reports the joined errors only when all
 // of them failed — mirroring the fail-soft Load rule.
-func (t *Tiered) Save(key Key, fam *core.Family) error {
+func (t *Tiered) Save(ctx context.Context, key Key, fam *core.Family) error {
 	var errs []error
 	saved := false
 	for _, st := range t.tiers {
-		if err := st.Save(key, fam); err != nil {
+		if err := st.Save(ctx, key, fam); err != nil {
 			errs = append(errs, err)
 		} else {
 			saved = true

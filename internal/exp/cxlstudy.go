@@ -106,7 +106,7 @@ func runFig14(env *Env) (*Result, error) {
 		}
 		// The manufacturer family is a pure function of the scale, which
 		// the options already encode, so the tag is a stable identity.
-		art, err := env.Charz.Characterize(charz.Request{Spec: host, Options: opt, Tag: "messsim:cxl"})
+		art, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: host, Options: opt, Tag: "messsim:cxl"})
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -104,6 +105,10 @@ func (r *Result) Render(w io.Writer) error {
 type Env struct {
 	Scale Scale
 	Charz *charz.Service
+	// Ctx, when set, is the context every characterization this environment
+	// issues runs under — a CLI -timeout or SIGINT cancels the experiment's
+	// reference sweeps at the next point boundary. nil means background.
+	Ctx context.Context
 	// Shards, when at least 2, asks every characterization this
 	// environment runs to shard each measurement point across that many
 	// engines (bench.Options.Shards). Execution-only: results are
@@ -124,11 +129,19 @@ func NewEnv(s Scale, svc *charz.Service) *Env {
 	return &Env{Scale: s, Charz: svc}
 }
 
+// Context resolves the environment's context (background when unset).
+func (env *Env) Context() context.Context {
+	if env.Ctx != nil {
+		return env.Ctx
+	}
+	return context.Background()
+}
+
 // reference returns the platform's measured reference family — the curves
 // of the detailed DRAM model standing in for "actual hardware" — via the
 // characterization service (cached, deduplicated across experiments).
 func (env *Env) reference(spec platform.Spec) (*core.Family, error) {
-	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: env.benchOptions()})
+	art, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: spec, Options: env.benchOptions()})
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +164,7 @@ func (env *Env) referenceAll(specs []platform.Spec) ([]*core.Family, error) {
 	for i, spec := range specs {
 		reqs[i] = charz.Request{Spec: spec, Options: env.benchOptions()}
 	}
-	arts, err := env.Charz.CharacterizeAll(reqs)
+	arts, err := env.Charz.CharacterizeAllContext(env.Context(), reqs)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,12 +63,12 @@ func TestSharedServiceDedupes(t *testing.T) {
 	var calls atomic.Int64
 	var mu sync.Mutex
 	keys := map[string]int{}
-	run := func(spec platform.Spec, opt bench.Options) (*bench.Result, error) {
+	run := func(ctx context.Context, spec platform.Spec, opt bench.Options) (*bench.Result, error) {
 		calls.Add(1)
 		mu.Lock()
 		keys[charz.Fingerprint(charz.Request{Spec: spec, Options: opt}).String()]++
 		mu.Unlock()
-		return bench.Run(spec, opt)
+		return bench.RunContext(ctx, spec, opt)
 	}
 	env := NewEnv(Quick, charz.New(charz.Config{Run: run}))
 

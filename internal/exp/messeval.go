@@ -57,7 +57,7 @@ func messFamily(env *Env, spec platform.Spec, ref *core.Family) (*core.Family, e
 		}
 		return m
 	}
-	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: opt, Tag: "model:" + string(memmodel.KindMess)})
+	art, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: spec, Options: opt, Tag: "model:" + string(memmodel.KindMess)})
 	if err != nil {
 		return nil, err
 	}

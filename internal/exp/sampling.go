@@ -60,7 +60,7 @@ func runFig6s(env *Env) (*Result, error) {
 
 	var maxDiv float64
 	for _, pace := range samplingPaces(env.Scale) {
-		tr, err := captureTrace(spec, opt, mix, pace)
+		tr, err := captureTrace(env.Context(), spec, opt, mix, pace)
 		if err != nil {
 			return nil, err
 		}

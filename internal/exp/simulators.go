@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/mess-sim/mess/internal/bench"
@@ -56,7 +57,7 @@ func modelFamily(env *Env, spec platform.Spec, kind memmodel.Kind) (*core.Family
 		}
 		return m
 	}
-	art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: opt, Tag: "model:" + string(kind)})
+	art, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: spec, Options: opt, Tag: "model:" + string(kind)})
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +215,7 @@ func traceDrivenFamily(env *Env, spec platform.Spec, mk func(eng *sim.Engine) me
 		var ratioSum float64
 		for i := len(opt.PacesNs) - 1; i >= 0; i-- { // ascending pressure
 			pace := opt.PacesNs[i]
-			tr, err := captureTrace(spec, opt, mix, pace)
+			tr, err := captureTrace(env.Context(), spec, opt, mix, pace)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -247,7 +248,7 @@ func traceDrivenFamily(env *Env, spec platform.Spec, mk func(eng *sim.Engine) me
 
 // captureTrace runs one benchmark point on the reference platform with a
 // capturing wrapper around the memory system.
-func captureTrace(spec platform.Spec, opt bench.Options, mix bench.Mix, paceNs float64) (*trace.Trace, error) {
+func captureTrace(ctx context.Context, spec platform.Spec, opt bench.Options, mix bench.Mix, paceNs float64) (*trace.Trace, error) {
 	var cap *trace.Capture
 	o := opt
 	o.Mixes = []bench.Mix{mix}
@@ -257,7 +258,7 @@ func captureTrace(spec platform.Spec, opt bench.Options, mix bench.Mix, paceNs f
 		cap = trace.NewCapture(eng, dram.New(eng, spec.DRAM), 400000)
 		return cap
 	}
-	if _, err := bench.Run(spec, o); err != nil {
+	if _, err := bench.RunContext(ctx, spec, o); err != nil {
 		return nil, err
 	}
 	return &cap.T, nil
@@ -277,7 +278,7 @@ func runFig7(env *Env) (*Result, error) {
 	run := func(name, tag string, backend mem.BackendFactory) error {
 		o := opt
 		o.Backend = backend
-		art, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: o, Tag: tag, NeedSamples: true})
+		art, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: spec, Options: o, Tag: tag, NeedSamples: true})
 		if err != nil {
 			return err
 		}

@@ -69,7 +69,7 @@ func runTableSpeed(env *Env) (*Result, error) {
 			return m
 		}
 		start := time.Now()
-		res, err := bench.Run(spec, o)
+		res, err := bench.RunContext(env.Context(), spec, o)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func runOpenPitonBug(env *Env) (*Result, error) {
 	// Both runs need raw samples (per-point read ratios); the cache
 	// override is part of the fingerprint, so healthy and bugged
 	// characterizations occupy distinct cache slots.
-	healthyArt, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: opt, NeedSamples: true})
+	healthyArt, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: spec, Options: opt, NeedSamples: true})
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func runOpenPitonBug(env *Env) (*Result, error) {
 	buggedCfg.EvictCleanAsDirty = true
 	optBug := opt
 	optBug.Cache = &buggedCfg
-	buggedArt, err := env.Charz.Characterize(charz.Request{Spec: spec, Options: optBug, NeedSamples: true})
+	buggedArt, err := env.Charz.CharacterizeContext(env.Context(), charz.Request{Spec: spec, Options: optBug, NeedSamples: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,312 @@
+package faultz
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/curvestore"
+)
+
+func drawKinds(p *Plan, n int) []Kind {
+	out := make([]Kind, n)
+	for i := range out {
+		out[i] = p.Next().Kind
+	}
+	return out
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorP: 0.2, HangP: 0.05, CorruptP: 0.1, TruncateP: 0.05, LatencyP: 0.2, Latency: time.Millisecond}
+	a := drawKinds(MustPlan(cfg), 500)
+	b := drawKinds(MustPlan(cfg), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between equal plans: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different sequence (else the seed is
+	// decorative and failures would not reproduce from it).
+	cfg.Seed = 43
+	c := drawKinds(MustPlan(cfg), 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 drew identical 500-fault sequences")
+	}
+}
+
+func TestPlanConcurrentMultisetFixed(t *testing.T) {
+	// The documented contract: concurrent callers interleave draws, but the
+	// multiset of faults over n operations is a pure function of the seed.
+	cfg := Config{Seed: 7, ErrorP: 0.3, CorruptP: 0.2}
+	const n = 400
+	serial := MustPlan(cfg)
+	var want Stats
+	for i := 0; i < n; i++ {
+		serial.Next()
+	}
+	want = serial.Stats()
+
+	conc := MustPlan(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				conc.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := conc.Stats(); got != want {
+		t.Fatalf("concurrent draw multiset %+v differs from serial %+v", got, want)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []Config{
+		{ErrorP: -0.1},
+		{ErrorP: 1.5},
+		{ErrorP: 0.6, HangP: 0.6},
+		{LatencyP: 0.1}, // no Latency duration
+	}
+	for i, cfg := range cases {
+		if _, err := NewPlan(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted, want validation error", i, cfg)
+		}
+	}
+	if _, err := NewPlan(Config{ErrorP: 0.5, HangP: 0.5}); err != nil {
+		t.Errorf("probabilities summing to exactly 1 rejected: %v", err)
+	}
+}
+
+func TestFailFirstThenScriptThenDraws(t *testing.T) {
+	p := MustPlan(Config{
+		FailFirst: 2,
+		Script:    []Fault{{Kind: Corrupt}, {Kind: Latency, Delay: time.Millisecond}},
+		// All probabilities zero: after the script, everything is None.
+	})
+	want := []Kind{Error, Error, Corrupt, Latency, None, None}
+	got := drawKinds(p, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw sequence = %v, want %v", got, want)
+		}
+	}
+	st := p.Stats()
+	if st.Ops != 6 || st.Errors != 2 || st.Corrupts != 1 || st.Delays != 1 || st.Injected() != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScriptLatencyInheritsConfigDelay(t *testing.T) {
+	p := MustPlan(Config{Script: []Fault{{Kind: Latency}}, Latency: 5 * time.Millisecond})
+	if f := p.Next(); f.Kind != Latency || f.Delay != 5*time.Millisecond {
+		t.Fatalf("scripted latency fault = %+v, want config Latency filled in", f)
+	}
+}
+
+func TestProbabilisticRate(t *testing.T) {
+	p := MustPlan(Config{Seed: 1, ErrorP: 0.5})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p.Next()
+	}
+	st := p.Stats()
+	if st.Errors < n*4/10 || st.Errors > n*6/10 {
+		t.Fatalf("ErrorP=0.5 injected %d/%d errors — draw stream biased", st.Errors, n)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("seed=7,failfirst=3,error=0.2,hang=0.01,corrupt=0.1,truncate=0.05,latency=0.3:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, FailFirst: 3, ErrorP: 0.2, HangP: 0.01, CorruptP: 0.1, TruncateP: 0.05, LatencyP: 0.3, Latency: 20 * time.Millisecond}
+	if cfg.Seed != want.Seed || cfg.FailFirst != want.FailFirst ||
+		cfg.ErrorP != want.ErrorP || cfg.HangP != want.HangP ||
+		cfg.CorruptP != want.CorruptP || cfg.TruncateP != want.TruncateP ||
+		cfg.LatencyP != want.LatencyP || cfg.Latency != want.Latency {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	// Whitespace and empty entries are tolerated; the result must be a
+	// valid plan.
+	if _, err := ParseConfig(" seed=1 , error=0.1 ,"); err != nil {
+		t.Fatalf("spaced spec rejected: %v", err)
+	}
+
+	for _, bad := range []string{
+		"frobnicate=1",   // unknown key
+		"error",          // no value
+		"error=lots",     // bad float
+		"latency=0.1",    // missing duration
+		"latency=0.1:ns", // bad duration
+		"seed=-1",        // negative seed
+	} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("spec %q accepted, want error", bad)
+		}
+	}
+}
+
+func TestSleepInterruptible(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancelled ctx = %v, want Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero-duration sleep: %v", err)
+	}
+}
+
+// --- Store seam ---
+
+func storeKey(s string) curvestore.Key {
+	var k curvestore.Key
+	copy(k[:], s)
+	return k
+}
+
+func testFamily() *core.Family {
+	return &core.Family{
+		Label: "faultz", TheoreticalBW: 100,
+		Curves: []core.Curve{{ReadRatio: 1, Points: []core.Point{{BW: 1, Latency: 90}, {BW: 50, Latency: 150}}}},
+	}
+}
+
+func TestStoreInjectsAndRecovers(t *testing.T) {
+	inner := curvestore.NewMemory(8)
+	key := storeKey("k1")
+	if err := inner.Save(context.Background(), key, testFamily()); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(inner, MustPlan(Config{FailFirst: 2}))
+
+	// First two operations fail with ErrInjected; afterwards the store
+	// recovers and serves the inner tier untouched.
+	if _, _, err := s.Load(context.Background(), key); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first load err = %v, want ErrInjected", err)
+	}
+	if err := s.Save(context.Background(), key, testFamily()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second op err = %v, want ErrInjected", err)
+	}
+	fam, ok, err := s.Load(context.Background(), key)
+	if err != nil || !ok || fam.Label != "faultz" {
+		t.Fatalf("post-recovery load: fam=%v ok=%v err=%v", fam, ok, err)
+	}
+}
+
+func TestStoreHangHonoursContext(t *testing.T) {
+	s := NewStore(curvestore.NewMemory(8), MustPlan(Config{Script: []Fault{{Kind: Hang}}}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := s.Load(ctx, storeKey("k"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung load err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived its context by seconds")
+	}
+}
+
+// --- HTTP seam ---
+
+func transportClient(plan *Plan) *http.Client {
+	return &http.Client{Transport: NewTransport(nil, plan)}
+}
+
+func TestTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer ts.Close()
+
+	hc := transportClient(MustPlan(Config{Script: []Fault{{Kind: Error}}}))
+	if _, err := hc.Get(ts.URL); err == nil || !strings.Contains(err.Error(), "injected dial failure") {
+		t.Fatalf("err = %v, want injected dial failure", err)
+	}
+	// The next request sails through.
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "payload" {
+		t.Fatalf("post-fault body = %q", body)
+	}
+}
+
+func TestTransportCorruptAndTruncate(t *testing.T) {
+	const payload = "0123456789abcdef0123456789abcdef"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	hc := transportClient(MustPlan(Config{Script: []Fault{{Kind: Corrupt}, {Kind: Truncate}}}))
+
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) == payload {
+		t.Fatal("corrupt fault left the body intact")
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("corrupt fault changed the length: %d vs %d", len(body), len(payload))
+	}
+
+	resp, err = hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != len(payload)/2 {
+		t.Fatalf("truncate fault produced %d bytes, want %d", len(body), len(payload)/2)
+	}
+	if resp.ContentLength != int64(len(payload)/2) {
+		t.Fatalf("truncate fault left ContentLength at %d", resp.ContentLength)
+	}
+}
+
+func TestTransportHangHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	hc := transportClient(MustPlan(Config{Script: []Fault{{Kind: Hang}}}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("hung request returned without error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived its context by seconds")
+	}
+}

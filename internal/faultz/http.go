@@ -1,0 +1,113 @@
+package faultz
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Transport wraps an http.RoundTripper, consuming one plan draw per
+// request. It is the HTTP-seam twin of Store: Error surfaces as a
+// transport error (which the curve-store client retries, then fails soft),
+// Latency delays the round trip, Hang parks it until the request context
+// is cancelled, and Corrupt/Truncate mangle the *response body* after a
+// successful round trip — the case that proves the client verifies what it
+// downloads instead of trusting the wire.
+//
+// Request bodies are never touched: an upload corrupted in flight is the
+// server's Content-SHA256 check's job, and that path is already pinned by
+// the curvestore tests.
+type Transport struct {
+	base http.RoundTripper
+	plan *Plan
+}
+
+// NewTransport interposes plan in front of base (nil base means
+// http.DefaultTransport).
+func NewTransport(base http.RoundTripper, plan *Plan) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, plan: plan}
+}
+
+// netError is the injected transport failure; Timeout/Temporary mark it
+// retryable the way real dial/read errors are.
+type netError struct{ op string }
+
+func (e *netError) Error() string   { return "faultz: injected " + e.op + " failure" }
+func (e *netError) Timeout() bool   { return false }
+func (e *netError) Temporary() bool { return true }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	f := t.plan.Next()
+	switch f.Kind {
+	case Error:
+		// A request that never reached the server: the body (if any) must
+		// still be closed, as the real transport would on a dial failure.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &netError{op: "dial"}
+	case Hang:
+		if req.Body != nil {
+			defer req.Body.Close()
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	case Latency:
+		if err := Sleep(ctx, f.Delay); err != nil {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, err
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	switch f.Kind {
+	case Corrupt:
+		return mangle(resp, flipBytes)
+	case Truncate:
+		return mangle(resp, func(b []byte) []byte { return b[:len(b)/2] })
+	}
+	return resp, nil
+}
+
+// mangle buffers the response body, rewrites it with fn, and fixes up the
+// framing headers so the damage models payload corruption, not protocol
+// corruption.
+func mangle(resp *http.Response, fn func([]byte) []byte) (*http.Response, error) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("faultz: buffering body to corrupt it: %w", err)
+	}
+	out := fn(body)
+	resp.Body = io.NopCloser(bytes.NewReader(out))
+	resp.ContentLength = int64(len(out))
+	if resp.Header.Get("Content-Length") != "" {
+		resp.Header.Set("Content-Length", strconv.Itoa(len(out)))
+	}
+	return resp, nil
+}
+
+// flipBytes inverts a scattering of bytes — enough that any integrity
+// check must catch it, spaced so short and long bodies are both hit.
+func flipBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	out := append([]byte(nil), b...)
+	step := len(out)/8 + 1
+	for i := 0; i < len(out); i += step {
+		out[i] ^= 0xff
+	}
+	return out
+}

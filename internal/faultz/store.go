@@ -1,0 +1,62 @@
+package faultz
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/curvestore"
+)
+
+// Store wraps a curvestore tier, consuming one plan draw per Load/Save.
+// Faults map onto the tier contract the callers above are built against:
+// Error, Corrupt and Truncate read as a present-but-unreadable tier (an
+// error, which Tiered and charz treat as a miss), Latency delays the
+// operation context-interruptibly, and Hang parks it until the caller's
+// context is cancelled — exactly what a wedged NFS mount or half-dead
+// server does.
+type Store struct {
+	inner curvestore.Store
+	plan  *Plan
+}
+
+// NewStore interposes plan in front of inner.
+func NewStore(inner curvestore.Store, plan *Plan) *Store {
+	return &Store{inner: inner, plan: plan}
+}
+
+// apply draws and executes one fault; a non-nil error aborts the
+// operation.
+func (s *Store) apply(ctx context.Context, op string) error {
+	f := s.plan.Next()
+	switch f.Kind {
+	case Error:
+		return fmt.Errorf("%w: %s error", ErrInjected, op)
+	case Corrupt:
+		return fmt.Errorf("%w: %s corrupt entry", ErrInjected, op)
+	case Truncate:
+		return fmt.Errorf("%w: %s truncated entry", ErrInjected, op)
+	case Latency:
+		return Sleep(ctx, f.Delay)
+	case Hang:
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Load implements curvestore.Store.
+func (s *Store) Load(ctx context.Context, key curvestore.Key) (*core.Family, bool, error) {
+	if err := s.apply(ctx, "load"); err != nil {
+		return nil, false, err
+	}
+	return s.inner.Load(ctx, key)
+}
+
+// Save implements curvestore.Store.
+func (s *Store) Save(ctx context.Context, key curvestore.Key, fam *core.Family) error {
+	if err := s.apply(ctx, "save"); err != nil {
+		return err
+	}
+	return s.inner.Save(ctx, key, fam)
+}

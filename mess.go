@@ -67,6 +67,7 @@
 package mess
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -252,7 +253,16 @@ func DefaultCharacterizationService() *CharacterizationService { return defaultC
 // identical (platform, options) pair simulate once, and concurrent calls
 // for the same pair share a single run.
 func Characterize(p Platform, opt BenchmarkOptions) (*BenchmarkResult, error) {
-	art, err := defaultCharz.Characterize(charz.Request{Spec: p, Options: opt, NeedSamples: true})
+	return CharacterizeContext(context.Background(), p, opt)
+}
+
+// CharacterizeContext is Characterize under a caller-supplied context:
+// cancellation stops the benchmark sweep at its next measurement-point
+// boundary and propagates through every cache tier, returning ctx.Err().
+// A characterization that completes before the cancellation is still
+// persisted to the service's stores.
+func CharacterizeContext(ctx context.Context, p Platform, opt BenchmarkOptions) (*BenchmarkResult, error) {
+	art, err := defaultCharz.CharacterizeContext(ctx, charz.Request{Spec: p, Options: opt, NeedSamples: true})
 	if err != nil {
 		return nil, err
 	}
@@ -506,6 +516,13 @@ func RunExperiment(id string, s ExperimentScale) (*ExperimentResult, error) {
 	return RunExperimentWith(defaultCharz, id, s)
 }
 
+// RunExperimentContext is RunExperiment under a caller-supplied context:
+// cancellation stops the experiment's reference characterizations at the
+// next sweep-point boundary and surfaces as ctx.Err().
+func RunExperimentContext(ctx context.Context, id string, s ExperimentScale) (*ExperimentResult, error) {
+	return RunExperimentShardedContext(ctx, defaultCharz, id, s, 0)
+}
+
 // RunExperimentWith executes one experiment against a caller-owned
 // characterization service — e.g. one backed by an on-disk store so a
 // registry sweep survives process restarts. A nil service gets a fresh
@@ -522,12 +539,20 @@ func RunExperimentWith(svc *CharacterizationService, id string, s ExperimentScal
 // multi-channel platforms when cores are available. Shards below 2 mean
 // unsharded.
 func RunExperimentSharded(svc *CharacterizationService, id string, s ExperimentScale, shards int) (*ExperimentResult, error) {
+	return RunExperimentShardedContext(context.Background(), svc, id, s, shards)
+}
+
+// RunExperimentShardedContext is RunExperimentSharded under a
+// caller-supplied context, threaded through the experiment environment
+// into every characterization it issues.
+func RunExperimentShardedContext(ctx context.Context, svc *CharacterizationService, id string, s ExperimentScale, shards int) (*ExperimentResult, error) {
 	e, ok := exp.ByID(id)
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id}
 	}
 	env := exp.NewEnv(s, svc)
 	env.Shards = shards
+	env.Ctx = ctx
 	return e.Run(env)
 }
 
