@@ -37,6 +37,7 @@ func main() {
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
 		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	if *list {
@@ -54,7 +55,7 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL, tel.Set())
 	fmt.Printf("characterizing %s ...\n", spec.String())
 	start := time.Now()
 	art, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: opt})

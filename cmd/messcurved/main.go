@@ -73,6 +73,28 @@
 //   - Crash mid-write: entries are written to a temp file and renamed into
 //     place, so a torn write leaves only a *.tmp orphan, never a half
 //     entry under a valid key.
+//
+// # Metrics
+//
+// GET /metrics exposes the server's counters in Prometheus text format
+// (append ?format=json for an expvar-style JSON document). The store
+// counters mirror /v1/stats under stable metric names:
+//
+//	mess_curved_hits_total            GETs answered from the store
+//	mess_curved_misses_total          GETs answered 404
+//	mess_curved_revalidations_total   GETs answered 304 via If-None-Match
+//	mess_curved_puts_total            uploads persisted
+//	mess_curved_put_dedups_total      uploads collapsed by singleflight
+//	mess_curved_bad_puts_total        uploads rejected (422)
+//	mess_curved_bytes_in_total        request body bytes (decompressed)
+//	mess_curved_bytes_out_total       response body bytes
+//	mess_curved_store_bytes           on-disk store size (gauge)
+//	mess_curved_store_evictions       LRU evictions so far (gauge)
+//
+// plus HTTP-level series from the middleware: mess_curved_request_seconds
+// (latency histogram) and mess_curved_inflight_requests (gauge). Scraping
+// /metrics is read-only and allocation-light; pointing a Prometheus at a
+// production curve server is the intended way to watch fleet hit rates.
 package main
 
 import (
@@ -99,8 +121,8 @@ func main() {
 		maxMB   = flag.Int("max-mb", 0, "bound the on-disk store size in MiB (0 = unbounded); LRU eviction")
 		hot     = flag.Int("hot-entries", 256, "in-memory hot-tier entries in front of the disk store (0 disables)")
 		maxBody = flag.Int64("max-body-mb", 64, "largest accepted upload in MiB (after decompression)")
-		verbose = flag.Bool("v", false, "log every request")
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	disk, err := charz.NewDiskStore(*dir)
@@ -120,6 +142,7 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "messcurved: ", log.LstdFlags)
+	slogger := tel.Set().Logger()
 	cfg := curvestore.ServerConfig{
 		MaxBodyBytes: *maxBody << 20,
 		// Uploads persist straight to disk — a 204 always means durably
@@ -127,12 +150,23 @@ func main() {
 		SaveStore:  disk,
 		StatsStore: disk,
 	}
-	if *verbose {
+	if tel.Verbose {
 		cfg.Log = logger
 	}
+	curved := curvestore.NewServer(store, cfg)
+
+	// /metrics re-exports the server's request and store counters in
+	// Prometheus text format (see "# Metrics" above); everything else goes
+	// through the latency/in-flight middleware to the store handler.
+	reg := tel.Set().Registry()
+	curved.Register(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", curvestore.Instrumented(reg, curved))
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: curvestore.NewServer(store, cfg),
+		Handler: mux,
 		// Slow-client armour (see "Failure modes" above): a stalled or
 		// malicious peer must never pin a handler goroutine forever. The
 		// read/write budgets are generous — a full-sweep family is a few MiB
@@ -149,7 +183,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("serving curve store %s on %s (hot tier: %d entries)", disk.Dir(), *addr, *hot)
+	slogger.Info("serving curve store", "dir", disk.Dir(), "addr", *addr, "hot_entries", *hot)
 
 	select {
 	case err := <-errc:
@@ -159,11 +193,11 @@ func main() {
 
 	// Graceful shutdown: drain in-flight GET/PUTs, then exit. A second
 	// signal aborts via the context already being cancelled.
-	logger.Printf("shutting down ...")
+	slogger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		cli.Fatal(fmt.Errorf("shutdown: %w", err))
 	}
-	logger.Printf("bye")
+	slogger.Info("bye")
 }

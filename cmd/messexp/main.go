@@ -25,6 +25,7 @@ import (
 
 	"github.com/mess-sim/mess"
 	"github.com/mess-sim/mess/internal/cli"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 func main() {
@@ -36,8 +37,10 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist curve families under this directory")
 		cacheMax = flag.Int("cache-max-mb", 0, "bound the curve cache size in MiB (0 = unbounded); LRU eviction")
 		cacheURL = flag.String("cache-url", "", cli.CurveURLUsage)
+		shards   = flag.Int("shards", 0, "engines per measurement point for every characterization (≥2 shards the DRAM channels; execution-only, results are byte-identical)")
 		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
+	tel := cli.TelemetryFlags().WithTrace()
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -69,28 +72,40 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL, tel.Set())
+	// Progress and failure reporting go through the structured logger: each
+	// slog record is written with a single atomic Write, so interleaved
+	// output from concurrent characterizations never shears a line — and
+	// -log-json makes the run machine-parseable for CI.
+	log := tel.Set().Logger()
+	track := tel.Set().Trace().NewTrack("messexp", "experiments")
 	failed := 0
 	for _, id := range ids {
 		if ctx.Err() != nil {
 			// Cancelled (SIGINT or -timeout): stop cleanly instead of
 			// burning through — and failing — every remaining experiment.
-			fmt.Fprintf(os.Stderr, "messexp: cancelled: %v\n", ctx.Err())
+			log.Error("run cancelled", "cause", ctx.Err())
 			failed++
 			break
 		}
 		start := time.Now()
-		res, err := mess.RunExperimentShardedContext(ctx, svc, id, s, 0)
+		log.Info("experiment starting", "experiment", id, "scale", s.String())
+		sp := tel.Set().Trace().Begin(track, "experiment "+id)
+		res, err := mess.RunExperimentShardedContext(ctx, svc, id, s, *shards)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "messexp: %s failed: %v\n", id, err)
+			sp.End(telemetry.String("outcome", "error"))
+			log.Error("experiment failed", "experiment", id, "err", err,
+				"duration", time.Since(start).Round(time.Millisecond).String())
 			failed++
 			continue
 		}
+		sp.End(telemetry.String("outcome", "ok"))
 		fmt.Printf("\n")
 		if err := res.Render(os.Stdout); err != nil {
 			cli.Fatal(err)
 		}
-		fmt.Printf("(%s in %s at %s scale)\n", id, time.Since(start).Round(time.Millisecond), s)
+		log.Info("experiment done", "experiment", id, "scale", s.String(),
+			"duration", time.Since(start).Round(time.Millisecond).String())
 
 		if *outdir != "" {
 			path := filepath.Join(*outdir, id+".txt")
@@ -106,6 +121,9 @@ func main() {
 		}
 	}
 	cli.PrintStats(svc)
+	if err := tel.WriteTrace(); err != nil {
+		cli.Fatal(err)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

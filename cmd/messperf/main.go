@@ -103,8 +103,11 @@ import (
 // device-shard pair (model/cxl, model/cxl_sharded), the Graviton 3 sweep
 // point pair (framework/fig4_point, framework/fig4_point_sharded) and the
 // barrier-statistics fields (windows, avg_window_ns, parks) on sharded
-// rows.
-const Schema = "mess-perf/v5"
+// rows; v6 added the top-level telemetry block — a snapshot of the run's
+// internal metrics registry (bench sweep-point, sim window/barrier and
+// charz source counters), so the trajectory records not only how fast the
+// suite ran but how much simulation work it did.
+const Schema = "mess-perf/v6"
 
 // Result is one measured quantity of the suite. AllocsPerOp follows the
 // `go test -benchmem` convention (total mallocs / ops, truncated): the
@@ -148,6 +151,13 @@ type Report struct {
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	BestOf     int      `json:"best_of,omitempty"`
 	Results    []Result `json:"results"`
+	// Telemetry is the run's internal metrics registry, flattened
+	// (histograms appear as _count/_sum). Work counters — sweep points,
+	// conservative windows, cross-shard messages — contextualize the
+	// wall-clock rows: a row that slowed down while its work counters held
+	// steady regressed, one whose counters moved measured different work.
+	// Volatile by construction, so never gated.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // better reports whether a is a better sample of the same measurement
@@ -282,7 +292,13 @@ func main() {
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the measured region here")
 		memProfile   = flag.String("memprofile", "", "write a heap profile taken at the end of the measured region here")
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
+
+	// One registry spans every framework-layer measurement; its snapshot
+	// lands in the report's telemetry block so the trajectory records the
+	// amount of simulation work behind the wall-clock rows.
+	set := tel.Set()
 
 	// shardsFor resolves the shard count for a platform with the given
 	// channel count; below 2 the sharded rows are skipped.
@@ -474,7 +490,7 @@ func main() {
 	var fam *mess.Family
 	add(best(func() Result {
 		return measure("framework/characterize_quick", 0, func() {
-			svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+			svc := mess.NewCharacterizationService(mess.CharacterizationConfig{Telemetry: set})
 			art, err := svc.Characterize(mess.CharacterizationRequest{Spec: spec, Options: mess.QuickBenchmarkOptions()})
 			if err != nil {
 				cli.Fatal(err)
@@ -489,7 +505,7 @@ func main() {
 	if !*skipFig2 {
 		add(best(func() Result {
 			return measure("framework/fig2_quick", 0, func() {
-				svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+				svc := mess.NewCharacterizationService(mess.CharacterizationConfig{Telemetry: set})
 				if _, err := mess.RunExperimentWith(svc, "fig2", mess.ScaleQuick); err != nil {
 					cli.Fatal(err)
 				}
@@ -503,7 +519,7 @@ func main() {
 		if n := shardsFor(3); n >= 2 {
 			add(best(func() Result {
 				r := measure("framework/fig2_quick_sharded", 0, func() {
-					svc := mess.NewCharacterizationService(mess.CharacterizationConfig{})
+					svc := mess.NewCharacterizationService(mess.CharacterizationConfig{Telemetry: set})
 					if _, err := mess.RunExperimentSharded(svc, "fig2", mess.ScaleQuick, n); err != nil {
 						cli.Fatal(err)
 					}
@@ -521,6 +537,7 @@ func main() {
 	point.Cores = 12
 	point.DRAM.Channels = 3
 	popt := mess.QuickBenchmarkOptions()
+	popt.Telemetry = set
 	add(best(func() Result {
 		return measure("framework/fig2_point", 0, func() {
 			if _, err := bench.MeasurePoint(point, popt, bench.Mix{}, 0); err != nil {
@@ -642,6 +659,8 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %s\n", *memProfile)
 	}
+
+	rep.Telemetry = set.Registry().Snapshot()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -48,18 +48,19 @@ func main() {
 		replay   = flag.String("replay-trace", "", "profile this captured memory trace by behaviour-phase clustering instead of running the HPCG proxy")
 		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	spec := cli.MustPlatform(*name)
 
 	if *replay != "" {
-		profileTrace(spec, *replay)
+		profileTrace(spec, *replay, tel)
 		return
 	}
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL, tel.Set())
 	fmt.Printf("characterizing %s for the profiling curves ...\n", spec.Name)
 	ref, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: bench.QuickOptions()})
 	if err != nil {
@@ -131,7 +132,7 @@ func main() {
 // profileTrace is the sampled-replay profiling mode: cluster a captured
 // trace's windows by access-vector and report the phase breakdown plus the
 // reconstructed whole-trace estimates.
-func profileTrace(spec mess.Platform, path string) {
+func profileTrace(spec mess.Platform, path string, tel *cli.Telemetry) {
 	f, err := os.Open(path)
 	if err != nil {
 		cli.Fatal(err)
@@ -144,7 +145,7 @@ func profileTrace(spec mess.Platform, path string) {
 
 	mapper := dram.NewMapper(&spec.DRAM)
 	mk := func(eng *sim.Engine) mem.Backend { return dram.New(eng, spec.DRAM) }
-	res, err := trace.Sampled(mk, tr, trace.SampleConfig{BankRow: mapper.BankRow})
+	res, err := trace.Sampled(mk, tr, trace.SampleConfig{BankRow: mapper.BankRow, Telemetry: tel.Set()})
 	if err != nil {
 		cli.Fatal(err)
 	}

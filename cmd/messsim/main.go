@@ -44,6 +44,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "engines per measurement point for the reference characterization (≥2 shards the DRAM channels; execution-only, results are byte-identical)")
 		timeout  = flag.Duration("timeout", 0, cli.TimeoutUsage)
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	spec := cli.MustPlatform(*name)
@@ -56,7 +57,7 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL)
+	svc := cli.Service(*cacheDir, *cacheMax, *cacheURL, tel.Set())
 	fmt.Printf("reference characterization of %s ...\n", spec.Name)
 	refArt, err := svc.CharacterizeContext(ctx, charz.Request{Spec: spec, Options: opt})
 	if err != nil {

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/mess-sim/mess/internal/cache"
 	"github.com/mess-sim/mess/internal/core"
@@ -23,6 +25,7 @@ import (
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/platform"
 	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // Mix is one traffic composition of the sweep: the percentage of kernel
@@ -90,6 +93,12 @@ type Options struct {
 	// NoShard forces the single-engine path even when Shards asks for
 	// sharding — the A/B knob of the sharding determinism tests.
 	NoShard bool
+	// Telemetry, when set, observes the run: per-point spans and sharded
+	// window timelines on its tracer, sweep counters and throughput on its
+	// registry. Observation never changes results (the determinism tests
+	// run with it attached), so it is execution-only and cleared by
+	// Normalized.
+	Telemetry *telemetry.Set
 }
 
 func (o *Options) withDefaults() Options {
@@ -146,6 +155,7 @@ func (o Options) Normalized() Options {
 	// enforces it), so both may share one cache entry.
 	out.Shards = 0
 	out.NoShard = false
+	out.Telemetry = nil
 	return out
 }
 
@@ -216,10 +226,32 @@ func RunContext(ctx context.Context, spec platform.Spec, opt Options) (*Result, 
 		workers = len(jobs)
 	}
 	shards := o.shardCount(spec)
+
+	// Telemetry is pure observation: nil-safe metric handles and tracer
+	// calls, so the uninstrumented path pays a few nil checks per point.
+	tr := o.Telemetry.Trace()
+	reg := o.Telemetry.Registry()
+	pointsC := reg.Counter("mess_bench_points_total", "benchmark sweep points simulated")
+	windowsC := reg.Counter("mess_sim_windows_total", "shard-group barrier windows executed")
+	msgsC := reg.Counter("mess_sim_messages_total", "cross-shard messages delivered")
+	spinsC := reg.Counter("mess_sim_barrier_spins_total", "barrier spin iterations while waiting")
+	yieldsC := reg.Counter("mess_sim_barrier_yields_total", "barrier runtime.Gosched calls while waiting")
+	parksC := reg.Counter("mess_sim_barrier_parks_total", "barrier parks (blocking waits)")
+	var totalSteps atomic.Uint64
+	wallStart := time.Now()
+	var sweepSpan telemetry.SpanTimer
+	if tr != nil {
+		sweepSpan = tr.Begin(tr.NewTrack("bench", "sweep"), "sweep "+spec.Name)
+	}
+
 	feed := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		var track telemetry.Track
+		if tr != nil {
+			track = tr.NewTrack("bench", fmt.Sprintf("worker-%d", w))
+		}
 		go func() {
 			defer wg.Done()
 			// Each worker owns its engines for the whole sweep and Resets
@@ -251,9 +283,24 @@ func RunContext(ctx context.Context, spec platform.Spec, opt Options) (*Result, 
 				}
 				j := jobs[ji]
 				if j.mixIdx < 0 {
-					samples[ji], errs[ji] = measureWith(eng, group, spec, o, Mix{}, 0, 0)
+					samples[ji], errs[ji] = measureWith(eng, group, spec, o, track, Mix{}, 0, 0)
 				} else {
-					samples[ji], errs[ji] = measureWith(eng, group, spec, o, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx], spec.Cores-1)
+					samples[ji], errs[ji] = measureWith(eng, group, spec, o, track, o.Mixes[j.mixIdx], o.PacesNs[j.paceIdx], spec.Cores-1)
+				}
+				pointsC.Inc()
+				if group != nil {
+					totalSteps.Add(group.Steps())
+					// Stats cover this point only (Reset cleared them), so
+					// adding per point accumulates the whole sweep across
+					// all workers in the shared counters.
+					st := group.Stats()
+					windowsC.Add(int64(st.Windows))
+					msgsC.Add(int64(st.Messages))
+					spinsC.Add(int64(st.Spins))
+					yieldsC.Add(int64(st.Yields))
+					parksC.Add(int64(st.Parks))
+				} else {
+					totalSteps.Add(eng.Steps())
 				}
 			}
 		}()
@@ -268,6 +315,14 @@ feedLoop:
 	}
 	close(feed)
 	wg.Wait()
+	if el := time.Since(wallStart).Seconds(); el > 0 {
+		reg.Gauge("mess_bench_events_per_second", "simulation events executed per wall-clock second, last sweep").
+			Set(float64(totalSteps.Load()) / el)
+	}
+	sweepSpan.End(telemetry.Int("points", int64(len(jobs))), telemetry.Int("events", int64(totalSteps.Load())))
+	o.Telemetry.Logger().Debug("bench sweep done",
+		"spec", spec.Name, "points", len(jobs), "events", totalSteps.Load(),
+		"elapsed", time.Since(wallStart).Round(time.Millisecond))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -287,19 +342,23 @@ feedLoop:
 // sharded engine targets. Generators occupy every core but the chaser's.
 func MeasurePoint(spec platform.Spec, opt Options, mix Mix, paceNs float64) (Sample, error) {
 	o := opt.withDefaults()
+	var track telemetry.Track
+	if tr := o.Telemetry.Trace(); tr != nil {
+		track = tr.NewTrack("bench", "point")
+	}
 	if shards := o.shardCount(spec); shards > 1 {
 		group := sim.NewShardGroup(shards)
 		defer group.Close()
-		return measureWith(group.Engine(0), group, spec, o, mix, paceNs, spec.Cores-1)
+		return measureWith(group.Engine(0), group, spec, o, track, mix, paceNs, spec.Cores-1)
 	}
-	return measureWith(sim.New(), nil, spec, o, mix, paceNs, spec.Cores-1)
+	return measureWith(sim.New(), nil, spec, o, track, mix, paceNs, spec.Cores-1)
 }
 
 // MeasureUnloaded runs only the pointer chase and reports the unloaded
 // load-to-use latency — the LMbench/multichase validation measurement.
 func MeasureUnloaded(spec platform.Spec, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	s, err := measureWith(sim.New(), nil, spec, o, Mix{}, 0, 0) // zero generators
+	s, err := measureWith(sim.New(), nil, spec, o, telemetry.Track{}, Mix{}, 0, 0) // zero generators
 	if err != nil {
 		return 0, err
 	}
@@ -346,7 +405,23 @@ func (o *Options) shardCount(spec platform.Spec) int {
 // and the warmup/measure windows are driven through the group's
 // conservative window barrier, whose quiescent boundaries make the counter
 // snapshots read exactly the state the single-engine run would see.
-func measureWith(eng *sim.Engine, group *sim.ShardGroup, spec platform.Spec, o Options, mix Mix, paceNs float64, generators int) (Sample, error) {
+func measureWith(eng *sim.Engine, group *sim.ShardGroup, spec platform.Spec, o Options, track telemetry.Track, mix Mix, paceNs float64, generators int) (Sample, error) {
+	tr := o.Telemetry.Trace()
+	var sp telemetry.SpanTimer
+	if tr != nil {
+		name := pointName(mix, paceNs, generators)
+		sp = tr.Begin(track, name)
+		if group != nil {
+			// The point's barrier windows go on their own sim-time track:
+			// timestamps are the home shard's simulated clock, so the row
+			// reads as the point's simulated timeline, not wall time.
+			wt := tr.NewTrack("sim", name)
+			group.SetWindowHook(func(start, end sim.Time) {
+				tr.Span(wt, "window", int64(start/sim.Nanosecond), int64((end-start)/sim.Nanosecond))
+			})
+			defer group.SetWindowHook(nil)
+		}
+	}
 	var backend mem.Backend
 	switch {
 	case group != nil && o.ShardedBackend != nil:
@@ -439,7 +514,21 @@ func measureWith(eng *sim.Engine, group *sim.ShardGroup, spec platform.Spec, o O
 		g.Stop()
 	}
 	chaser.Stop()
+	sp.End(telemetry.Float("bw_gbs", s.BWGBs), telemetry.Float("lat_ns", s.LatNs))
 	return s, nil
+}
+
+// pointName labels one sweep point for tracing: stable across runs of the
+// same sweep, unique within it.
+func pointName(mix Mix, paceNs float64, generators int) string {
+	if generators == 0 {
+		return "point unloaded"
+	}
+	nt := ""
+	if mix.NonTemporal {
+		nt = "nt"
+	}
+	return fmt.Sprintf("point s%d%s p%g", mix.StorePercent, nt, paceNs)
 }
 
 // assemble groups samples by mix into curves ordered by injection pressure

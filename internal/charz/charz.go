@@ -36,11 +36,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/mess-sim/mess/internal/bench"
 	"github.com/mess-sim/mess/internal/core"
 	"github.com/mess-sim/mess/internal/curvestore"
 	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // Source reports where an artifact came from.
@@ -124,6 +126,12 @@ type Config struct {
 	// Run overrides the benchmark runner (test seam). Default:
 	// bench.RunContext.
 	Run RunFunc
+	// Telemetry, when set, observes the service: request counters by
+	// outcome source on its registry, fill spans on its tracer, per-fill
+	// debug lines on its logger. It is also handed down to every benchmark
+	// sweep the service runs. Purely observational — results and cache
+	// keys are unaffected.
+	Telemetry *telemetry.Set
 }
 
 // Stats are cumulative service counters.
@@ -159,6 +167,13 @@ type Service struct {
 	entries map[Key]*entry
 
 	runs, memHits, diskHits, remoteHits, uncacheable atomic.Int64
+
+	// Telemetry (all nil-safe; zero-valued when the service is
+	// uninstrumented): the bundle handed to benchmark runs, the fill
+	// duration histogram, and the tracer row fills record onto.
+	tel       *telemetry.Set
+	fillDur   *telemetry.Histogram
+	fillTrack telemetry.Track
 }
 
 // entry is one cache slot: done closes when the first requester finishes,
@@ -198,8 +213,29 @@ func New(cfg Config) *Service {
 	if len(tiers) > 0 {
 		s.tiered = curvestore.NewTiered(tiers...)
 	}
+	s.tel = cfg.Telemetry
+	// Registration is read-time re-export of the existing atomic counters
+	// — the hot paths keep writing the same atomics they always did. All
+	// of this no-ops on a nil registry.
+	reg := s.tel.Registry()
+	counterAsFunc := func(c *atomic.Int64) func() float64 {
+		return func() float64 { return float64(c.Load()) }
+	}
+	const reqHelp = "characterization requests by outcome source"
+	reg.CounterFunc(`mess_charz_requests_total{source="run"}`, reqHelp, counterAsFunc(&s.runs))
+	reg.CounterFunc(`mess_charz_requests_total{source="memory"}`, reqHelp, counterAsFunc(&s.memHits))
+	reg.CounterFunc(`mess_charz_requests_total{source="disk"}`, reqHelp, counterAsFunc(&s.diskHits))
+	reg.CounterFunc(`mess_charz_requests_total{source="remote"}`, reqHelp, counterAsFunc(&s.remoteHits))
+	reg.CounterFunc(`mess_charz_requests_total{source="uncacheable"}`, reqHelp, counterAsFunc(&s.uncacheable))
+	s.fillDur = reg.Histogram("mess_charz_fill_seconds", "cache-miss fill duration (tier walk plus any simulation)", nil)
+	s.fillTrack = s.tel.Trace().NewTrack("charz", "fill")
 	return s
 }
+
+// Telemetry returns the service's observability bundle (nil when the
+// service was built without one) — the handle layers above the service
+// (experiments, the facade) use to share one registry and tracer.
+func (s *Service) Telemetry() *telemetry.Set { return s.tel }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
@@ -306,6 +342,19 @@ func (s *Service) Reset() {
 // fill executes the cache miss path for the entry it owns and publishes
 // the outcome by closing done.
 func (s *Service) fill(ctx context.Context, key Key, e *entry, req Request) {
+	start := time.Now()
+	sp := s.tel.Trace().Begin(s.fillTrack, "characterize "+req.Spec.Name)
+	defer func() {
+		d := time.Since(start)
+		s.fillDur.Observe(d.Seconds())
+		outcome := "error"
+		if e.err == nil {
+			outcome = e.src.String()
+		}
+		sp.End(telemetry.String("source", outcome))
+		s.tel.Logger().Debug("charz fill",
+			"spec", req.Spec.Name, "source", outcome, "elapsed", d.Round(time.Millisecond))
+	}()
 	defer close(e.done)
 	if s.tiered != nil && !req.NeedSamples {
 		// Disk, then remote, with write-back promotion on a remote hit.
@@ -349,6 +398,12 @@ func (s *Service) fill(ctx context.Context, key Key, e *entry, req Request) {
 
 func (s *Service) runOnce(ctx context.Context, req Request) (*bench.Result, error) {
 	s.runs.Add(1)
+	if s.tel != nil && req.Options.Telemetry == nil {
+		// Hand the sweep the service's bundle so per-point spans and sim
+		// counters land in the same trace and registry. Execution-only:
+		// Normalized clears it, so cache keys are unchanged.
+		req.Options.Telemetry = s.tel
+	}
 	return s.run(ctx, req.Spec, req.Options)
 }
 

@@ -47,7 +47,7 @@ func TestDiskStoreConcurrentSaveLoadGC(t *testing.T) {
 					errs <- fmt.Errorf("writer %d save %d: %w", w, i, err)
 					return
 				}
-				got, ok, err := store.Load(bg, keyOf(i / 2))
+				got, ok, err := store.Load(bg, keyOf(i/2))
 				if err != nil {
 					// A concurrent GC may have removed the file (ok=false
 					// is fine); a parse error means a torn write.

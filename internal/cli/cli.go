@@ -6,6 +6,7 @@ package cli
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"net/http"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"github.com/mess-sim/mess/internal/exp"
 	"github.com/mess-sim/mess/internal/faultz"
 	"github.com/mess-sim/mess/internal/platform"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // CurveURLEnv is the environment variable consulted when the -cache-url
@@ -29,6 +31,75 @@ const CurveURLEnv = curvestore.EnvURL
 
 // CurveURLUsage is the shared help text of the -cache-url flag.
 const CurveURLUsage = "remote curve store base URL, e.g. http://host:9400 (cmd/messcurved; default $" + curvestore.EnvURL + "); fail-soft — a down server falls back to local tiers"
+
+// Telemetry carries the shared observability flags (-log-json, -v, and
+// for tools that opt in, -trace-out) and builds the telemetry.Set the
+// tool threads through the stack.
+type Telemetry struct {
+	LogJSON  bool
+	Verbose  bool
+	TraceOut string
+
+	set *telemetry.Set
+}
+
+// TelemetryFlags registers -log-json and -v on the default flag set —
+// the convention every cmd/* binary follows. Call before flag.Parse.
+func TelemetryFlags() *Telemetry {
+	t := &Telemetry{}
+	flag.BoolVar(&t.LogJSON, "log-json", false, "write structured logs as JSON (one object per line) instead of text")
+	flag.BoolVar(&t.Verbose, "v", false, "verbose: log per-characterization and per-request detail")
+	return t
+}
+
+// WithTrace additionally registers -trace-out for tools that can export a
+// sim-timeline trace. Call before flag.Parse; chain off TelemetryFlags.
+func (t *Telemetry) WithTrace() *Telemetry {
+	flag.StringVar(&t.TraceOut, "trace-out", "", "write a Chrome trace_event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
+	return t
+}
+
+// Set resolves the flags into the tool's observability bundle: a metrics
+// registry and a structured logger always, a tracer when -trace-out asked
+// for one. Idempotent after flag.Parse.
+func (t *Telemetry) Set() *telemetry.Set {
+	if t.set == nil {
+		t.set = &telemetry.Set{
+			Metrics: telemetry.NewRegistry(),
+			Log:     telemetry.NewLogger(telemetry.LogConfig{JSON: t.LogJSON, Verbose: t.Verbose}),
+		}
+		if t.TraceOut != "" {
+			t.set.Tracer = telemetry.NewTracer()
+		}
+	}
+	return t.set
+}
+
+// WriteTrace exports the recorded timeline to the -trace-out path. A
+// no-op when the flag was not set; any recording drop is reported on the
+// logger so a truncated trace is never mistaken for a complete one.
+func (t *Telemetry) WriteTrace() error {
+	if t.TraceOut == "" {
+		return nil
+	}
+	tr := t.Set().Trace()
+	f, err := os.Create(t.TraceOut)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if n := tr.Dropped(); n > 0 {
+		t.Set().Logger().Warn("trace buffer overflowed; timeline truncated", "dropped_events", n)
+	}
+	t.Set().Logger().Info("trace written", "path", t.TraceOut, "events", tr.Events())
+	return nil
+}
 
 // prog is the invoked binary's base name, used as the error prefix.
 func prog() string {
@@ -94,7 +165,12 @@ func MustScale(name string) exp.Scale {
 // curve server, consulted after the local tiers and fully fail-soft. A
 // malformed URL is a configuration error and exits — fail-soft covers the
 // server being down, not a bad flag.
-func Service(cacheDir string, maxMB int, cacheURL string) *charz.Service {
+//
+// tel, when non-nil, instruments the whole stack the service fronts: the
+// service itself, the benchmark sweeps it runs, and the remote tier's
+// retry/circuit behaviour all report into tel's registry, tracer and
+// logger (see TelemetryFlags).
+func Service(cacheDir string, maxMB int, cacheURL string, tel *telemetry.Set) *charz.Service {
 	var store *charz.DiskStore
 	if cacheDir != "" {
 		var err error
@@ -135,9 +211,10 @@ func Service(cacheDir string, maxMB int, cacheURL string) *charz.Service {
 		if err != nil {
 			Fatal(err)
 		}
+		client.Instrument(tel.Registry())
 		remote = client
 	}
-	return charz.New(charz.Config{Store: store, Remote: remote})
+	return charz.New(charz.Config{Store: store, Remote: remote, Telemetry: tel})
 }
 
 // FaultzEnv, when set, wraps every remote curve-store client Service

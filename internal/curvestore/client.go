@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/mess-sim/mess/internal/core"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // EnvURL is the environment variable naming the fleet's curve server. The
@@ -76,6 +77,9 @@ type Client struct {
 	mu        sync.Mutex
 	downUntil time.Time
 	reval     *fifoCache[revalEntry]
+
+	// Telemetry counters, attached by Instrument; nil (no-op) otherwise.
+	mLoads, mSaves, mHits, mRetries, mTrips, mShorted *telemetry.Counter
 }
 
 type revalEntry struct {
@@ -140,8 +144,10 @@ func (c *Client) urlFor(key Key) string { return c.base + "/v1/curves/" + key.St
 // truncated transfer reads as a tier error, never as wrong curves.
 func (c *Client) Load(ctx context.Context, key Key) (*core.Family, bool, error) {
 	if c.CircuitOpen() {
+		c.mShorted.Inc()
 		return nil, false, nil
 	}
+	c.mLoads.Inc()
 	etag, cached := c.revalGet(key)
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urlFor(key), nil)
@@ -176,6 +182,7 @@ func (c *Client) Load(ctx context.Context, key Key) (*core.Family, bool, error) 
 			return nil, false, fmt.Errorf("curvestore: remote load %s: %w", key.Short(), err)
 		}
 		c.revalPut(key, respETag, fam)
+		c.mHits.Inc()
 		return fam, true, nil
 	case http.StatusNotModified:
 		if cached == nil {
@@ -183,6 +190,7 @@ func (c *Client) Load(ctx context.Context, key Key) (*core.Family, bool, error) 
 			// server or intermediary. Fail-soft, like any broken tier.
 			return nil, false, fmt.Errorf("curvestore: remote load %s: unsolicited 304", key.Short())
 		}
+		c.mHits.Inc()
 		return cached.Clone(), true, nil
 	case http.StatusNotFound:
 		return nil, false, nil
@@ -197,8 +205,10 @@ func (c *Client) Load(ctx context.Context, key Key) (*core.Family, bool, error) 
 // circuit when they persist.
 func (c *Client) Save(ctx context.Context, key Key, fam *core.Family) error {
 	if c.CircuitOpen() {
+		c.mShorted.Inc()
 		return ErrUnavailable
 	}
+	c.mSaves.Inc()
 	var raw bytes.Buffer
 	if err := fam.WriteCSV(&raw); err != nil {
 		return fmt.Errorf("curvestore: encoding curves for upload: %w", err)
@@ -267,6 +277,7 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			c.mRetries.Inc()
 			if err := sleepJitter(ctx, backoff); err != nil {
 				return nil, err
 			}
@@ -344,6 +355,7 @@ func (c *Client) trip() {
 	if c.cooldown <= 0 {
 		return
 	}
+	c.mTrips.Inc()
 	c.mu.Lock()
 	c.downUntil = time.Now().Add(c.cooldown)
 	c.mu.Unlock()

@@ -174,7 +174,9 @@ type gateStore struct {
 	once    sync.Once
 }
 
-func (g *gateStore) Load(ctx context.Context, k Key) (*core.Family, bool, error) { return g.inner.Load(ctx, k) }
+func (g *gateStore) Load(ctx context.Context, k Key) (*core.Family, bool, error) {
+	return g.inner.Load(ctx, k)
+}
 func (g *gateStore) Save(ctx context.Context, k Key, fam *core.Family) error {
 	g.once.Do(func() {
 		g.entered <- struct{}{}

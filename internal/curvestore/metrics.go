@@ -1,0 +1,80 @@
+package curvestore
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/mess-sim/mess/internal/telemetry"
+)
+
+// Register re-exports the server's counters into reg under the
+// mess_curved_* families — read-time funcs over the same atomics
+// /v1/stats serves, so the request paths are untouched and /metrics and
+// /v1/stats can never disagree. Call once per registry; nil-safe.
+func (s *Server) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mess_curved_hits_total", "GETs served with curve data (200 and 304)",
+		func() float64 { return float64(s.hits.Load()) })
+	reg.CounterFunc("mess_curved_misses_total", "GETs for unknown keys",
+		func() float64 { return float64(s.misses.Load()) })
+	reg.CounterFunc("mess_curved_revalidations_total", "GETs answered 304 via ETag revalidation",
+		func() float64 { return float64(s.revalidations.Load()) })
+	reg.CounterFunc("mess_curved_puts_total", "uploads stored",
+		func() float64 { return float64(s.puts.Load()) })
+	reg.CounterFunc("mess_curved_put_dedups_total", "concurrent duplicate uploads collapsed by singleflight",
+		func() float64 { return float64(s.putDedups.Load()) })
+	reg.CounterFunc("mess_curved_bad_puts_total", "uploads rejected (bad key, CSV or digest)",
+		func() float64 { return float64(s.badPuts.Load()) })
+	reg.CounterFunc("mess_curved_bytes_in_total", "curve payload bytes received",
+		func() float64 { return float64(s.bytesIn.Load()) })
+	reg.CounterFunc("mess_curved_bytes_out_total", "curve payload bytes sent",
+		func() float64 { return float64(s.bytesOut.Load()) })
+	reg.GaugeFunc("mess_curved_store_bytes", "bytes in the backing store",
+		func() float64 { return float64(s.Stats().StoreBytes) })
+	reg.GaugeFunc("mess_curved_store_evictions", "entries evicted from the backing store",
+		func() float64 { return float64(s.Stats().Evictions) })
+}
+
+// Instrumented wraps next with request-level HTTP metrics: a duration
+// histogram and an in-flight gauge. It sits in front of the whole mux in
+// cmd/messcurved, so /metrics itself is measured too.
+func Instrumented(reg *telemetry.Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	dur := reg.Histogram("mess_curved_request_seconds", "HTTP request duration", nil)
+	inflight := reg.Gauge("mess_curved_inflight_requests", "HTTP requests currently being served")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			dur.Observe(time.Since(start).Seconds())
+			inflight.Add(-1)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Instrument attaches client-side metrics to c: retry/circuit behaviour
+// of the fleet's remote tier, the numbers an operator needs to tell "the
+// curve server is struggling" from "the cache is just cold". Counters
+// are nil-safe, so an uninstrumented client pays a nil check per event.
+func (c *Client) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mLoads = reg.Counter(`mess_curve_client_requests_total{op="load"}`, "remote store requests by operation")
+	c.mSaves = reg.Counter(`mess_curve_client_requests_total{op="save"}`, "remote store requests by operation")
+	c.mHits = reg.Counter("mess_curve_client_hits_total", "remote loads that returned a family")
+	c.mRetries = reg.Counter("mess_curve_client_retries_total", "request retry attempts")
+	c.mTrips = reg.Counter("mess_curve_client_circuit_trips_total", "times the fail-soft circuit opened")
+	c.mShorted = reg.Counter("mess_curve_client_short_circuits_total", "calls answered instantly by an open circuit")
+	reg.GaugeFunc("mess_curve_client_circuit_open", "1 while the fail-soft circuit is open", func() float64 {
+		if c.CircuitOpen() {
+			return 1
+		}
+		return 0
+	})
+}

@@ -2,6 +2,10 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
 	"testing"
 
 	"github.com/mess-sim/mess/internal/bench"
@@ -10,6 +14,7 @@ import (
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/platform"
 	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // fig2QuickCSV runs the Quick fig2 experiment on a fresh (uncached,
@@ -133,6 +138,107 @@ func TestShardedCharacterizationDeterminism(t *testing.T) {
 			t.Errorf("%s: release CSV differs from the unsharded run:\nunsharded:\n%s\n%s:\n%s",
 				leg.name, base, leg.name, got)
 		}
+	}
+}
+
+// telemetryCSVAndSpans characterizes the Quick-scaled Skylake reference
+// with telemetry fully enabled — registry, tracer and a verbose logger —
+// and returns the release CSV plus the sorted names of every complete
+// span the run recorded.
+func telemetryCSVAndSpans(t *testing.T, shards int) ([]byte, []string, *telemetry.Set) {
+	t.Helper()
+	set := &telemetry.Set{
+		Metrics: telemetry.NewRegistry(),
+		Tracer:  telemetry.NewTracer(),
+		Log:     telemetry.NewLogger(telemetry.LogConfig{Verbose: true, Output: io.Discard}),
+	}
+	csv := referenceCSV(t, func(env *Env) {
+		env.Charz = charz.New(charz.Config{Telemetry: set})
+		env.Shards = shards
+	}, nil)
+	var buf bytes.Buffer
+	if err := set.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	var names []string
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	return csv, names, set
+}
+
+// countSpans tallies the sorted span names by prefix.
+func countSpans(names []string, prefix string) int {
+	n := 0
+	for _, name := range names {
+		if strings.HasPrefix(name, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTelemetryEnabledDeterminism is the observability contract of the
+// telemetry layer: with metrics, tracing and verbose logging all enabled —
+// on both the single-engine and the sharded runtime — the release CSVs
+// must stay byte-identical to the uninstrumented run, the recorded span
+// structure must be deterministic across runs, and the taxonomy's three
+// core span families (charz fill, bench point, barrier window) must
+// actually be present.
+func TestTelemetryEnabledDeterminism(t *testing.T) {
+	base := referenceCSV(t, nil, nil)
+
+	csv1, spans1, set := telemetryCSVAndSpans(t, 0)
+	if !bytes.Equal(base, csv1) {
+		t.Errorf("telemetry-enabled release CSV differs from the uninstrumented run:\nbase:\n%s\ninstrumented:\n%s", base, csv1)
+	}
+	if got := countSpans(spans1, "characterize "); got == 0 {
+		t.Error("no charz fill span recorded")
+	}
+	if got := countSpans(spans1, "point "); got == 0 {
+		t.Error("no bench sweep-point spans recorded")
+	}
+	snap := set.Metrics.Snapshot()
+	if snap[`mess_bench_points_total`] == 0 {
+		t.Error("mess_bench_points_total stayed 0 on an instrumented sweep")
+	}
+	if snap[`mess_charz_requests_total{source="run"}`] == 0 {
+		t.Error("charz run counter stayed 0 on an instrumented characterization")
+	}
+
+	_, spans2, _ := telemetryCSVAndSpans(t, 0)
+	if len(spans1) != len(spans2) || func() bool {
+		for i := range spans1 {
+			if spans1[i] != spans2[i] {
+				return true
+			}
+		}
+		return false
+	}() {
+		t.Errorf("span structure differs between identical runs:\nrun1: %v\nrun2: %v", spans1, spans2)
+	}
+
+	csvSharded, spansSharded, shardedSet := telemetryCSVAndSpans(t, 2)
+	if !bytes.Equal(base, csvSharded) {
+		t.Errorf("telemetry-enabled sharded release CSV differs from the uninstrumented run:\nbase:\n%s\nsharded:\n%s", base, csvSharded)
+	}
+	if got := countSpans(spansSharded, "window"); got == 0 {
+		t.Error("no barrier-window spans recorded on the sharded leg")
+	}
+	if snap := shardedSet.Metrics.Snapshot(); snap["mess_sim_windows_total"] == 0 {
+		t.Error("mess_sim_windows_total stayed 0 on a sharded sweep")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/mess-sim/mess/internal/messsim"
 	"github.com/mess-sim/mess/internal/perfload"
 	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // allocTolerance is the per-op bound the steady-state tests assert. The
@@ -59,5 +60,43 @@ func TestMessSimulatorSteadyStateZeroAllocs(t *testing.T) {
 	s := messsim.New(eng, messsim.Config{Family: core.NewSynthetic(core.SyntheticSpec{})})
 	if per := steadyStateAllocsPerOp(t, eng, s, perfload.PatternReference, 4000); per >= allocTolerance {
 		t.Fatalf("Mess simulator steady state allocates %.4f/op, want ~0", per)
+	}
+}
+
+// instrumentedBackend forwards every access to the inner model while
+// updating a telemetry counter and histogram per request — denser
+// instrumentation than any production path (which meters per point, not
+// per access), so it bounds what wiring the registry into a hot loop can
+// ever cost.
+type instrumentedBackend struct {
+	inner mem.Backend
+	reqs  *telemetry.Counter
+	sizes *telemetry.Histogram
+}
+
+func (b *instrumentedBackend) Access(req *mem.Request) {
+	b.reqs.Inc()
+	b.sizes.Observe(float64(req.Size))
+	b.inner.Access(req)
+}
+
+// The telemetry contract of ISSUE 10: an instrumented model hot loop keeps
+// the zero-allocation steady state. Counter.Inc and Histogram.Observe are
+// atomic updates on pre-registered series — registration happens once,
+// outside the loop — so the per-op cost is branches and atomics, never an
+// allocation.
+func TestInstrumentedDRAMSteadyStateZeroAllocs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	eng := sim.New()
+	sys := &instrumentedBackend{
+		inner: dram.New(eng, dram.DDR4(2666, 2, 2)),
+		reqs:  reg.Counter("mess_test_requests_total", "requests through the instrumented loop"),
+		sizes: reg.Histogram("mess_test_request_bytes", "request sizes", []float64{32, 64, 128}),
+	}
+	if per := steadyStateAllocsPerOp(t, eng, sys, perfload.PatternMixed, 4000); per >= allocTolerance {
+		t.Fatalf("instrumented DRAM steady state allocates %.4f/op, want ~0", per)
+	}
+	if sys.reqs.Value() == 0 {
+		t.Fatal("instrumentation never fired: counter stayed 0")
 	}
 }

@@ -105,6 +105,10 @@ type ShardGroup struct {
 	statSpins    uint64   // coordinator-side ack-wait spins
 	statYields   uint64
 	statParks    uint64
+
+	// windowHook, when set, observes each completed barrier window (see
+	// SetWindowHook). Coordinator-owned.
+	windowHook func(start, end Time)
 }
 
 // workerSlot is one worker's barrier endpoint: the ack word the
@@ -256,6 +260,15 @@ func (g *ShardGroup) TightenLookahead(src, dst int, l Time) {
 		g.SetLookahead(src, dst, l)
 	}
 }
+
+// SetWindowHook installs fn to observe each barrier window after it
+// completes: start and end are the home shard's window bounds in
+// simulated time, and fn runs on the coordinator goroutine with every
+// worker quiescent, so it may read Stats(). This is the seam the
+// telemetry layer's sim-timeline tracer attaches through — a callback
+// rather than an import, so sim keeps its zero-dependency contract.
+// Set it only between runs; nil removes the hook.
+func (g *ShardGroup) SetWindowHook(fn func(start, end Time)) { g.windowHook = fn }
 
 // SetGlobalCoupling switches the group to the PR-6 baseline behavior —
 // one global window end shared by every shard and a spin/yield barrier
@@ -440,9 +453,16 @@ func (g *ShardGroup) horizons(max Time) bool {
 // to a runnable state.
 func (g *ShardGroup) runWindow() {
 	g.ensureWorkers()
+	start := g.engines[0].Now()
 	e := g.epoch.Add(1)
 	for w := range g.workers {
 		g.workers[w].park.unpark()
+	}
+	// LIFO defers: acks are collected first, then the hook observes the
+	// fully quiescent window — and both still run if a home-shard
+	// callback panics, leaving the group Reset-able.
+	if g.windowHook != nil {
+		defer func() { g.windowHook(start, g.ends[0]) }()
 	}
 	defer g.awaitAcks(e)
 	g.engines[0].RunUntil(g.ends[0])

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// fmtFloat renders a value the way both Prometheus and expvar accept:
+// integers without a fraction, everything else in shortest-round-trip
+// form, +Inf as the literal Prometheus expects.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per metric family,
+// histograms as cumulative _bucket/_sum/_count series. Metrics are
+// emitted sorted by (family, name), so the output is deterministic for a
+// fixed set of registrations.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.snapshotMetrics() {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if m.help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(m.family)
+				bw.WriteByte(' ')
+				bw.WriteString(m.help)
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(m.family)
+			bw.WriteByte(' ')
+			bw.WriteString(m.kind.String())
+			bw.WriteByte('\n')
+		}
+		switch m.kind {
+		case KindHistogram:
+			h := m.hist
+			counts := h.snapshot()
+			cum := int64(0)
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmtFloat(h.bounds[i])
+				}
+				bw.WriteString(m.family)
+				bw.WriteString("_bucket{")
+				if m.labels != "" {
+					bw.WriteString(m.labels)
+					bw.WriteByte(',')
+				}
+				bw.WriteString(`le="`)
+				bw.WriteString(le)
+				bw.WriteString(`"} `)
+				bw.WriteString(strconv.FormatInt(cum, 10))
+				bw.WriteByte('\n')
+			}
+			writeSeries(bw, m.family+"_sum", m.labels, fmtFloat(h.Sum()))
+			writeSeries(bw, m.family+"_count", m.labels, strconv.FormatInt(h.Count(), 10))
+		default:
+			writeSeries(bw, m.family, m.labels, fmtFloat(m.value()))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, family, labels, value string) {
+	bw.WriteString(family)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// WriteJSON encodes the registry as a flat JSON object in the expvar
+// style: metric name → number, histograms as {count, sum, buckets} with
+// per-bucket (non-cumulative) counts keyed by upper bound. Keys are
+// sorted (encoding/json sorts map keys), so the output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	doc := map[string]any{}
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case KindHistogram:
+			h := m.hist
+			counts := h.snapshot()
+			buckets := map[string]int64{}
+			for i, c := range counts {
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmtFloat(h.bounds[i])
+				}
+				buckets[le] = c
+			}
+			doc[m.name] = map[string]any{
+				"count":   h.Count(),
+				"sum":     h.Sum(),
+				"buckets": buckets,
+			}
+		default:
+			doc[m.name] = m.value()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// the expvar-like JSON document when the request asks for it with
+// ?format=json. This is what messcurved mounts at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

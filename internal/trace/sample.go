@@ -24,6 +24,7 @@ import (
 
 	"github.com/mess-sim/mess/internal/mem"
 	"github.com/mess-sim/mess/internal/sim"
+	"github.com/mess-sim/mess/internal/telemetry"
 )
 
 // SampleConfig tunes the sampling pipeline. The zero value selects
@@ -58,6 +59,11 @@ type SampleConfig struct {
 	// generic 8 KiB-row, 16-bank layout: fingerprints stay usable, just
 	// less faithful to the platform.
 	BankRow func(addr uint64) (bank int, row int64)
+	// Telemetry, when set, records the pipeline's phases — fingerprint,
+	// cluster, per-cluster replay, reconstruct — as spans on its tracer
+	// and a summary line on its logger. Observation only: estimates are
+	// unaffected.
+	Telemetry *telemetry.Set
 }
 
 func (c SampleConfig) withDefaults() SampleConfig {
@@ -202,8 +208,16 @@ func Sampled(mk mem.BackendFactory, t *Trace, cfg SampleConfig) (*SampledResult,
 		return nil, fmt.Errorf("trace: sampled replay requires time-ordered records")
 	}
 
+	tr := cfg.Telemetry.Trace()
+	var track telemetry.Track
+	if tr != nil {
+		track = tr.NewTrack("trace", "sampled-replay")
+	}
+
+	sp := tr.Begin(track, "fingerprint")
 	windows, span := cutWindows(t, cfg)
 	fingerprint(t, windows, cfg)
+	sp.End(telemetry.Int("windows", int64(len(windows))))
 
 	// Cluster the non-empty windows.
 	occupied := make([]int, 0, len(windows))
@@ -220,11 +234,13 @@ func Sampled(mk mem.BackendFactory, t *Trace, cfg SampleConfig) (*SampledResult,
 	for i, wi := range occupied {
 		vecs[i] = windows[wi].Vec.vec()
 	}
+	sp = tr.Begin(track, "cluster")
 	normalize(vecs)
 	assign, centers := kmeans(vecs, k, cfg.MaxIter)
 	for i, wi := range occupied {
 		windows[wi].Cluster = assign[i]
 	}
+	sp.End(telemetry.Int("k", int64(k)), telemetry.Int("occupied", int64(len(occupied))))
 
 	res := &SampledResult{
 		WindowSpan:   span,
@@ -266,6 +282,7 @@ func Sampled(mk mem.BackendFactory, t *Trace, cfg SampleConfig) (*SampledResult,
 		// spread around the mean, and probing the farthest members makes
 		// it a worst-case bound, not a flattering one.
 		rep := pickClosest(vecs, centers[c], members)
+		csp := tr.Begin(track, fmt.Sprintf("replay cluster %d", c))
 		ce.Rep = occupied[rep]
 		probed := map[int]bool{rep: true}
 		sampled := []windowMeasure{replayWindowRange(mk, t, &windows[occupied[rep]], warm)}
@@ -292,14 +309,20 @@ func Sampled(mk mem.BackendFactory, t *Trace, cfg SampleConfig) (*SampledResult,
 				ce.LatErrNs = d
 			}
 		}
+		csp.End(telemetry.Int("windows", int64(ce.Windows)), telemetry.Int("records", int64(ce.Records)))
 	}
 
+	sp = tr.Begin(track, "reconstruct")
 	reconstruct(t, res)
+	sp.End()
 	if res.ReplayedRecords > 0 {
 		res.SpeedupX = float64(res.TotalRecords) / float64(res.ReplayedRecords)
 	} else {
 		res.SpeedupX = 1
 	}
+	cfg.Telemetry.Logger().Debug("sampled replay done",
+		"records", res.TotalRecords, "replayed", res.ReplayedRecords,
+		"clusters", k, "speedup_x", res.SpeedupX)
 	return res, nil
 }
 
@@ -351,8 +374,8 @@ func cutWindows(t *Trace, cfg SampleConfig) ([]SampleWindow, sim.Time) {
 
 // fingerprint computes each window's access vector.
 func fingerprint(t *Trace, windows []SampleWindow, cfg SampleConfig) {
-	lastRow := map[int]int64{}  // bank -> open row (idealized, per window)
-	lines := map[uint64]bool{}  // unique-line footprint, per window
+	lastRow := map[int]int64{} // bank -> open row (idealized, per window)
+	lines := map[uint64]bool{} // unique-line footprint, per window
 	for i := range windows {
 		w := &windows[i]
 		n := w.End - w.Start

@@ -247,6 +247,17 @@ func newDefaultCharz() *charz.Service {
 // drops every cached entry.
 func DefaultCharacterizationService() *CharacterizationService { return defaultCharz }
 
+// CharzStats snapshots the default characterization service's cumulative
+// counters: simulations actually run versus memory/disk/remote cache hits.
+// It is one of the framework's two cumulative-counter surfaces — the other
+// is ShardStats (ShardGroup.Stats), which counts the sharded runtime's
+// windows, cross-shard messages and barrier escalations. Both read
+// consistent snapshots and are safe to poll from any goroutine; for a
+// continuously exported view of the same numbers (Prometheus text or
+// JSON), wire a telemetry registry through CharacterizationConfig instead
+// of polling.
+func CharzStats() CharacterizationStats { return defaultCharz.Stats() }
+
 // Characterize runs the Mess benchmark on the platform's detailed memory
 // model and returns the curve family with all samples. Results are served
 // from the default characterization service: repeated calls with an
